@@ -1,0 +1,214 @@
+// Figure 1 reproduction: time and energy efficiency vs number of disks for
+// the TPC-H throughput test.
+//
+// Paper setup (Section 3.1): an HP ProLiant DL785 (8 x quad-core Opteron,
+// 64 GB) running an audited-style TPC-H throughput test at 300 GB scale,
+// with the database striped RAID-5 across {36, 66, 108, 204} SCSI 15K
+// drives. Observed there: performance keeps improving with more disks but
+// with diminishing returns, while every disk adds constant power — so
+// energy efficiency peaks at 66 disks (+14% EE for -45% performance vs the
+// 204-disk configuration).
+//
+// Our reproduction runs the real throughput-test query mix (Q1/Q6/Q3-
+// flavored over generated ORDERS/LINEITEM) against a simulated RAID-5 array
+// whose bandwidth is volumetrically calibrated: per-disk bandwidth is scaled
+// by (our data volume / 300 GB) so per-query times land at the paper's
+// magnitude; stripe skew provides the measured sub-linear scaling. See
+// EXPERIMENTS.md for the calibration rule.
+
+#include <cmath>
+#include <memory>
+
+#include "advisor/design_advisor.h"
+#include "bench_util.h"
+#include "power/platform.h"
+#include "storage/disk_array.h"
+#include "storage/hdd.h"
+#include "tpch/generator.h"
+#include "tpch/workload.h"
+
+namespace ecodb {
+namespace {
+
+const std::vector<int> kDiskCounts = {36, 66, 108, 204};
+constexpr int kStreams = 3;
+constexpr double kTargetSecondsAt66 = 5000.0;  // Figure 1's mid-curve scale
+
+// DL785-class platform. The measured idle draw of a fully populated DL785
+// chassis (fans, VRMs, controllers) is on the order of a kilowatt; we fold
+// the non-CPU/non-DRAM share into the chassis base.
+std::unique_ptr<power::HardwarePlatform> MakeFig1Platform() {
+  power::CpuSpec cpu;
+  cpu.sockets = 8;
+  cpu.cores_per_socket = 4;
+  cpu.pstates = {{"P0", 2.3, 16.0}, {"P1", 1.9, 11.0}, {"P2", 1.4, 7.5}};
+  cpu.socket_idle_watts = 10.0;
+  cpu.socket_sleep_watts = 2.0;
+  cpu.instructions_per_cycle = 1.2;
+
+  power::DramSpec dram;
+  dram.capacity_bytes = 64.0 * 1024 * 1024 * 1024;
+  dram.background_watts_per_gib = 1.2;  // FB-DIMM era memory
+
+  power::ChassisSpec chassis;
+  chassis.base_watts = 1150.0;
+  chassis.tray_watts = 45.0;  // MSA70 shelf electronics
+  chassis.disks_per_tray = 16;
+
+  power::FacilitySpec fac;
+  fac.psu_efficiency = 0.85;
+  fac.cooling_watts_per_watt = 0.5;
+
+  return std::make_unique<power::HardwarePlatform>(cpu, dram, chassis, fac);
+}
+
+power::HddSpec Scsi15k(double bw_bytes_per_s) {
+  power::HddSpec spec;  // 73 GB 15K SCSI class
+  spec.sustained_bw_bytes_per_s = bw_bytes_per_s;
+  spec.active_watts = 17.0;
+  spec.idle_watts = 12.0;
+  spec.standby_watts = 2.5;
+  return spec;
+}
+
+storage::ArraySpec Fig1ArraySpec() {
+  storage::ArraySpec spec;
+  spec.level = storage::RaidLevel::kRaid5;
+  // Stripe skew calibrated so t(66)/t(204) matches the paper's ~1.8x.
+  spec.stripe_skew_alpha = 0.011;
+  spec.controller_bw_bytes_per_s = 1e15;  // skew is the binding constraint
+  spec.per_request_overhead_s = 0.0;
+  return spec;
+}
+
+double SkewFactor(int n) { return 1.0 + Fig1ArraySpec().stripe_skew_alpha * (n - 1); }
+
+struct Fig1Point {
+  int disks;
+  tpch::ThroughputResult result;
+};
+
+}  // namespace
+
+int Main() {
+  bench::Banner(
+      "Figure 1: TPC-H throughput test — time and energy efficiency vs "
+      "number of disks",
+      "DL785-class platform, RAID-5 over 15K SCSI drives; paper points "
+      "{36, 66, 108, 204}; EE peaks at 66 disks");
+
+  tpch::TpchConfig config;
+  config.scale_factor = 2.0;  // 30k orders / ~120k lineitems, volumetric
+  const auto order_cols = tpch::GenerateOrders(config);
+  const auto line_cols = tpch::GenerateLineitem(config);
+
+  // --- Calibration probe: measure the mix's I/O volume and CPU demand on
+  // an unconstrained device, then derive per-disk bandwidth and CPU scale.
+  uint64_t probe_bytes = 0;
+  double probe_cpu_core_s = 0.0;
+  {
+    auto platform = MakeFig1Platform();
+    std::vector<std::unique_ptr<storage::StorageDevice>> members;
+    for (int i = 0; i < 66; ++i) {
+      members.push_back(std::make_unique<storage::HddDevice>(
+          "probe" + std::to_string(i), Scsi15k(1e12), platform->meter()));
+    }
+    storage::DiskArray array("probe-array", Fig1ArraySpec(),
+                             std::move(members));
+    storage::TableStorage orders(1, tpch::OrdersSchema(),
+                                 storage::TableLayout::kColumn, &array);
+    storage::TableStorage lineitem(2, tpch::LineitemSchema(),
+                                   storage::TableLayout::kColumn, &array);
+    if (!orders.Append(order_cols).ok()) return 1;
+    if (!lineitem.Append(line_cols).ok()) return 1;
+    auto probe = tpch::RunThroughputTest(platform.get(), &orders, &lineitem,
+                                         kStreams, exec::ExecOptions{});
+    if (!probe.ok()) return 1;
+    probe_bytes = probe->io_bytes;
+    probe_cpu_core_s = probe->cpu_core_seconds;
+  }
+
+  // Per-disk bandwidth so the 66-disk I/O time hits the paper's magnitude:
+  //   t66 = V * skew(66) / (66 * bw)  =>  bw = V * skew(66) / (66 * t66).
+  const double bw = static_cast<double>(probe_bytes) * SkewFactor(66) /
+                    (66.0 * kTargetSecondsAt66);
+  // CPU instruction scale so the CPU path binds slightly below the 204-disk
+  // I/O time (the paper's system stays disk-limited through 204 disks).
+  const double t204_io = static_cast<double>(probe_bytes) * SkewFactor(204) /
+                         (204.0 * bw);
+  exec::ExecOptions exec_options;
+  exec_options.dop = 32;
+  exec_options.costs.decode_scale =
+      0.85 * t204_io * 32.0 / probe_cpu_core_s;
+
+  std::printf("calibration: mix volume %.1f MB, per-disk bw %.1f B/s "
+              "(an 80 MB/s 15K drive scaled by our volume / 300 GB), "
+              "cpu scale %.2g\n\n",
+              probe_bytes / 1e6, bw, exec_options.costs.decode_scale);
+
+  // --- Sweep.
+  std::vector<Fig1Point> points;
+  auto runner = [&](int disks) {
+    auto platform = MakeFig1Platform();
+    platform->SetActiveTraysAt(
+        0.0, (disks + platform->chassis().disks_per_tray - 1) /
+                 platform->chassis().disks_per_tray);
+    std::vector<std::unique_ptr<storage::StorageDevice>> members;
+    for (int i = 0; i < disks; ++i) {
+      members.push_back(std::make_unique<storage::HddDevice>(
+          "hdd" + std::to_string(i), Scsi15k(bw), platform->meter()));
+    }
+    storage::DiskArray array("array", Fig1ArraySpec(), std::move(members));
+    storage::TableStorage orders(1, tpch::OrdersSchema(),
+                                 storage::TableLayout::kColumn, &array);
+    storage::TableStorage lineitem(2, tpch::LineitemSchema(),
+                                   storage::TableLayout::kColumn, &array);
+    if (!orders.Append(order_cols).ok() ||
+        !lineitem.Append(line_cols).ok()) {
+      std::exit(1);
+    }
+    auto result = tpch::RunThroughputTest(platform.get(), &orders, &lineitem,
+                                          kStreams, exec_options);
+    if (!result.ok()) std::exit(1);
+    points.push_back({disks, *result});
+    advisor::SweepPoint p;
+    p.config = disks;
+    p.seconds = result->elapsed_seconds;
+    p.joules = result->joules;
+    p.work_units = result->queries_completed;
+    return p;
+  };
+  const advisor::SweepAnalysis analysis =
+      advisor::AnalyzeSweep(kDiskCounts, runner);
+
+  bench::Table table({"disks", "time (s)", "avg IT watts", "energy (MJ)",
+                      "EE (queries/MJ)", "rel EE"});
+  const double ee204 = analysis.points.back().EnergyEfficiency();
+  for (const advisor::SweepPoint& p : analysis.points) {
+    table.AddRow({std::to_string(p.config), bench::Fmt("%.0f", p.seconds),
+                  bench::Fmt("%.0f", p.AvgWatts()),
+                  bench::Fmt("%.1f", p.joules / 1e6),
+                  bench::Fmt("%.2f", p.EnergyEfficiency() * 1e6),
+                  bench::Fmt("%.3f", p.EnergyEfficiency() / ee204)});
+  }
+  table.Print();
+
+  const int ee_peak = analysis.BestEfficiency().config;
+  const double ee_gain = analysis.EfficiencyGainVsPeakPerf() * 100.0;
+  const double perf_drop = analysis.PerformanceDropAtPeakEfficiency() * 100.0;
+  std::printf("energy-efficiency peak: %d disks (paper: 66)\n", ee_peak);
+  std::printf("EE gain at peak vs %d disks: +%.1f%% (paper: +14%%)\n",
+              analysis.BestPerformance().config, ee_gain);
+  std::printf("performance drop at EE peak: -%.1f%% (paper: -45%%)\n\n",
+              perf_drop);
+
+  const bool shape_holds =
+      ee_peak == 66 && ee_gain > 5.0 && perf_drop > 25.0 && perf_drop < 60.0;
+  std::printf("shape check (interior EE peak at 66, EE gain, perf drop): "
+              "%s\n", shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}
+
+}  // namespace ecodb
+
+int main() { return ecodb::Main(); }

@@ -1,0 +1,112 @@
+// Durability walkthrough: WAL, group commit, checkpointing, crash, recover.
+//
+// Demonstrates the txn substrate end to end, including the Section 5.2
+// energy knob (group-commit batching) and a simulated crash that tears the
+// log mid-record.
+//
+//   $ ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <string>
+
+#include "power/energy_meter.h"
+#include "sim/clock.h"
+#include "storage/ssd.h"
+#include "txn/checkpoint.h"
+#include "txn/recovery.h"
+#include "txn/wal.h"
+
+using namespace ecodb;  // NOLINT: example brevity
+
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// Forward-processes one insert: apply to the live pages, then log it.
+void Insert(txn::PageStore* live, txn::WalManager* wal, txn::TxnId t,
+            storage::PageId page, const std::string& payload) {
+  txn::LogRecord rec;
+  rec.txn_id = t;
+  rec.type = txn::LogRecordType::kInsert;
+  rec.page = page;
+  rec.slot = *live->GetOrCreate(page)->Insert(Bytes(payload));
+  rec.after = Bytes(payload);
+  wal->Append(std::move(rec));
+}
+
+}  // namespace
+
+int main() {
+  sim::SimClock clock;
+  power::EnergyMeter meter(&clock);
+  storage::SsdDevice log_dev("log-ssd", power::SsdSpec{}, &meter);
+  storage::SsdDevice data_dev("data-ssd", power::SsdSpec{}, &meter);
+
+  txn::WalConfig wal_config;
+  wal_config.group_commit_size = 8;  // the Section 5.2 batching factor
+  txn::WalManager wal(wal_config, &clock, &log_dev);
+  txn::Checkpointer checkpointer(&clock, &wal, &data_dev);
+  txn::PageStore live;
+
+  // --- Day 1: 100 committed transactions, then a checkpoint.
+  for (txn::TxnId t = 1; t <= 100; ++t) {
+    Insert(&live, &wal, t, {1, static_cast<uint32_t>(t % 4)},
+           "order-" + std::to_string(t));
+    wal.Commit(t);
+  }
+  wal.Flush();
+  auto cp_lsn = checkpointer.Take(live);
+  std::printf("checkpoint at LSN %llu after 100 txns "
+              "(%zu pages, %zu log bytes, %llu flushes so far)\n",
+              static_cast<unsigned long long>(*cp_lsn), live.page_count(),
+              wal.durable_bytes().size(),
+              static_cast<unsigned long long>(wal.stats().flushes));
+
+  // --- Day 2: 20 more commits, plus one transaction caught mid-flight.
+  for (txn::TxnId t = 101; t <= 120; ++t) {
+    Insert(&live, &wal, t, {1, static_cast<uint32_t>(t % 4)},
+           "order-" + std::to_string(t));
+    wal.Commit(t);
+  }
+  Insert(&live, &wal, 999, {1, 0}, "uncommitted-work");
+  wal.Flush();  // record is durable, its commit never happens
+
+  // --- Crash: the machine dies; we additionally tear the last 3 bytes off
+  // the log (a torn sector).
+  std::vector<uint8_t> surviving_log = wal.durable_bytes();
+  surviving_log.resize(surviving_log.size() - 3);
+  std::printf("\n*** crash: %zu log bytes survive (tail torn)\n\n",
+              surviving_log.size());
+
+  // --- Restart: recover = checkpoint image + truncated log replay.
+  auto recovered = checkpointer.Recover(surviving_log);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+
+  // Verify: committed work survives, the uncommitted insert does not.
+  size_t live_records = 0;
+  recovered->ForEach([&](storage::PageId, const storage::Page& page) {
+    live_records += page.live_records();
+  });
+  std::printf("recovered %zu pages holding %zu records "
+              "(expected 120 committed inserts)\n",
+              recovered->page_count(), live_records);
+
+  const std::vector<uint8_t> replay_suffix =
+      checkpointer.TruncatedLog(surviving_log);
+  std::printf("recovery replayed only %zu bytes of log thanks to the "
+              "checkpoint (vs %zu total)\n",
+              replay_suffix.size(), surviving_log.size());
+
+  std::printf("\nlog-device energy for the whole run: %.3f J across %llu "
+              "flushes (group commit K=%d)\n",
+              meter.ChannelJoules(log_dev.channel()),
+              static_cast<unsigned long long>(wal.stats().flushes),
+              wal_config.group_commit_size);
+  return live_records == 120 ? 0 : 1;
+}

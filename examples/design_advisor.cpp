@@ -1,0 +1,98 @@
+// Physical design advisor demo: the Section 3.1 diminishing-returns sweep
+// and the per-column compression advisor, both driven through the public
+// API.
+//
+//   $ ./build/examples/design_advisor
+
+#include <cstdio>
+#include <memory>
+
+#include "advisor/design_advisor.h"
+#include "power/platform.h"
+#include "storage/disk_array.h"
+#include "storage/ssd.h"
+#include "storage/hdd.h"
+#include "tpch/generator.h"
+#include "tpch/workload.h"
+
+int main() {
+  using namespace ecodb;  // NOLINT: example brevity
+
+  // ---------------------------------------------------------------- sweep
+  std::printf("1) How many disks should this workload run on?\n\n");
+
+  tpch::TpchConfig config;
+  config.scale_factor = 1.0;
+  const auto order_cols = tpch::GenerateOrders(config);
+  const auto line_cols = tpch::GenerateLineitem(config);
+
+  auto runner = [&](int disks) {
+    auto platform = power::MakeDl785Platform();
+    platform->SetActiveTraysAt(0.0, (disks + 15) / 16);
+    std::vector<std::unique_ptr<storage::StorageDevice>> members;
+    power::HddSpec hdd;
+    hdd.sustained_bw_bytes_per_s = 2e6;  // volumetric scale-down
+    for (int i = 0; i < disks; ++i) {
+      members.push_back(std::make_unique<storage::HddDevice>(
+          "d" + std::to_string(i), hdd, platform->meter()));
+    }
+    storage::ArraySpec array_spec;
+    array_spec.stripe_skew_alpha = 0.011;
+    storage::DiskArray array("array", array_spec, std::move(members));
+    storage::TableStorage orders(1, tpch::OrdersSchema(),
+                                 storage::TableLayout::kColumn, &array);
+    storage::TableStorage lineitem(2, tpch::LineitemSchema(),
+                                   storage::TableLayout::kColumn, &array);
+    (void)orders.Append(order_cols);
+    (void)lineitem.Append(line_cols);
+    auto result = tpch::RunThroughputTest(platform.get(), &orders, &lineitem,
+                                          2, exec::ExecOptions{});
+    advisor::SweepPoint p;
+    p.seconds = result->elapsed_seconds;
+    p.joules = result->joules;
+    p.work_units = result->queries_completed;
+    return p;
+  };
+
+  const std::vector<int> candidates = {8, 16, 32, 64, 128};
+  const advisor::SweepAnalysis analysis =
+      advisor::AnalyzeSweep(candidates, runner);
+  std::printf("   disks   time(s)   queries/kJ\n");
+  for (const advisor::SweepPoint& p : analysis.points) {
+    std::printf("   %5d   %7.1f   %10.3f\n", p.config, p.seconds,
+                p.EnergyEfficiency() * 1e3);
+  }
+  std::printf("\n   fastest: %d disks; most energy-efficient: %d disks\n",
+              analysis.BestPerformance().config,
+              analysis.BestEfficiency().config);
+  std::printf("   the efficiency point gives up %.0f%% performance for "
+              "+%.0f%% efficiency\n\n",
+              analysis.PerformanceDropAtPeakEfficiency() * 100.0,
+              analysis.EfficiencyGainVsPeakPerf() * 100.0);
+
+  // ----------------------------------------------------------- compression
+  std::printf("2) Which columns of LINEITEM should be compressed?\n\n");
+  auto platform = power::MakeProportionalPlatform();
+  storage::SsdDevice ssd("ssd", power::SsdSpec{}, platform->meter());
+  storage::TableStorage lineitem(1, tpch::LineitemSchema(),
+                                 storage::TableLayout::kColumn, &ssd);
+  if (!lineitem.Append(line_cols).ok()) return 1;
+
+  optimizer::CostModel model(platform.get(), optimizer::CostModelParams{});
+  auto rec = advisor::RecommendCompression(
+      lineitem,
+      {storage::CompressionKind::kRle, storage::CompressionKind::kDelta,
+       storage::CompressionKind::kFor},
+      &model, optimizer::Objective::Balanced(0.05));
+  if (!rec.ok()) return 1;
+
+  std::printf("   %-16s %-12s %s\n", "column", "codec", "ratio");
+  for (const advisor::CompressionChoice& c : rec->choices) {
+    std::printf("   %-16s %-12s %.2f\n", c.column.c_str(),
+                storage::CompressionKindName(c.kind), c.ratio);
+  }
+  std::printf("\n   projected full-scan cost with this design: %.3f s, "
+              "%.1f J\n", rec->total_scan_cost.seconds,
+              rec->total_scan_cost.joules);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Physical design advisor for energy efficiency.
+//
+// Two pieces of Section 3.1 / 5.1 of the paper:
+//
+//  * Configuration sweeps (AnalyzeSweep): run a workload at each candidate
+//    configuration (e.g. number of disks), measure time and energy, and find
+//    both the best-performance and the best-efficiency points. The advisor
+//    applies the paper's marginal rule — stop adding a component once its
+//    percentage performance gain falls below its percentage power cost.
+//
+//  * Compression advice (RecommendCompression): for each column, actually
+//    encode with each candidate codec, price the resulting scan under the
+//    two-objective cost model, and pick per the objective — performance
+//    objectives favor compression when scans are I/O-bound; energy
+//    objectives can flip the choice (Figure 2).
+
+#ifndef ECODB_ADVISOR_DESIGN_ADVISOR_H_
+#define ECODB_ADVISOR_DESIGN_ADVISOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "storage/compression.h"
+#include "storage/table_storage.h"
+#include "util/status.h"
+
+namespace ecodb::advisor {
+
+/// One measured configuration in a sweep.
+struct SweepPoint {
+  int config = 0;           // e.g. number of disks
+  double seconds = 0.0;     // workload completion time
+  double joules = 0.0;      // energy over the run
+  double work_units = 0.0;  // queries completed, rows produced, ...
+
+  double Performance() const { return seconds > 0 ? work_units / seconds : 0; }
+  double EnergyEfficiency() const {
+    return joules > 0 ? work_units / joules : 0;
+  }
+  double AvgWatts() const { return seconds > 0 ? joules / seconds : 0; }
+};
+
+struct SweepAnalysis {
+  std::vector<SweepPoint> points;
+  int best_performance_index = -1;
+  int best_efficiency_index = -1;
+
+  const SweepPoint& BestPerformance() const {
+    return points[best_performance_index];
+  }
+  const SweepPoint& BestEfficiency() const {
+    return points[best_efficiency_index];
+  }
+
+  /// EE gain of the efficiency peak relative to the performance peak
+  /// (paper: +14%), and the performance sacrificed there (paper: -45%).
+  double EfficiencyGainVsPeakPerf() const;
+  double PerformanceDropAtPeakEfficiency() const;
+};
+
+/// Runs `runner` for each configuration and analyzes the curve.
+using ConfigRunner = std::function<SweepPoint(int config)>;
+SweepAnalysis AnalyzeSweep(const std::vector<int>& configs,
+                           const ConfigRunner& runner);
+
+/// Advice for one column.
+struct CompressionChoice {
+  std::string column;
+  storage::CompressionKind kind = storage::CompressionKind::kNone;
+  double ratio = 1.0;  // encoded/raw
+  optimizer::PlanCost scan_cost;
+};
+
+struct CompressionRecommendation {
+  std::vector<CompressionChoice> choices;
+  optimizer::PlanCost total_scan_cost;
+};
+
+/// Evaluates candidate codecs per int64/date column of `table` (strings get
+/// dictionary-vs-none) and picks the scalarized-cost minimizer. The table
+/// itself is not modified.
+StatusOr<CompressionRecommendation> RecommendCompression(
+    const storage::TableStorage& table,
+    const std::vector<storage::CompressionKind>& int64_candidates,
+    optimizer::CostModel* model, const optimizer::Objective& objective);
+
+}  // namespace ecodb::advisor
+
+#endif  // ECODB_ADVISOR_DESIGN_ADVISOR_H_

@@ -1,0 +1,72 @@
+#include "advisor/tco.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ecodb::advisor {
+
+TcoReport ComputeTco(const NodeConfig& node, const TcoParams& params,
+                     int nodes) {
+  TcoReport report;
+  report.nodes = nodes;
+  report.hardware_usd = node.hardware_cost_usd * nodes;
+  const double hours = params.amortization_years * 365.25 * 24.0;
+  const double wall_watts =
+      node.avg_watts * (1.0 + params.cooling_watts_per_watt) * nodes;
+  report.energy_usd =
+      wall_watts / 1000.0 * hours * params.energy_price_usd_per_kwh;
+  report.total_usd = report.hardware_usd + report.energy_usd;
+  const double perf = node.perf_units * nodes;
+  report.usd_per_perf_unit = perf > 0 ? report.total_usd / perf : 0.0;
+  return report;
+}
+
+namespace {
+int NodesForTarget(double target, double per_node) {
+  if (per_node <= 0) return 1;
+  return static_cast<int>(std::ceil(target / per_node));
+}
+}  // namespace
+
+ScalingDecision DecideScaling(double target_perf_units,
+                              const NodeConfig& overdriven_node,
+                              const NodeConfig& efficient_node,
+                              const TcoParams& params) {
+  ScalingDecision decision;
+  decision.overdrive = ComputeTco(
+      overdriven_node, params,
+      NodesForTarget(target_perf_units, overdriven_node.perf_units));
+  decision.parallelize = ComputeTco(
+      efficient_node, params,
+      NodesForTarget(target_perf_units, efficient_node.perf_units));
+  decision.parallelize_wins =
+      decision.parallelize.total_usd < decision.overdrive.total_usd;
+  return decision;
+}
+
+double EnergyPriceCrossover(double target_perf_units,
+                            const NodeConfig& overdriven_node,
+                            const NodeConfig& efficient_node,
+                            TcoParams params) {
+  // TCO(price) is linear in the energy price for both options; solve for
+  // equality directly from two evaluations.
+  params.energy_price_usd_per_kwh = 0.0;
+  const ScalingDecision at_zero = DecideScaling(
+      target_perf_units, overdriven_node, efficient_node, params);
+  params.energy_price_usd_per_kwh = 1.0;
+  const ScalingDecision at_one = DecideScaling(
+      target_perf_units, overdriven_node, efficient_node, params);
+
+  const double hw_gap =
+      at_zero.parallelize.total_usd - at_zero.overdrive.total_usd;
+  const double energy_slope_gap =
+      (at_one.parallelize.total_usd - at_zero.parallelize.total_usd) -
+      (at_one.overdrive.total_usd - at_zero.overdrive.total_usd);
+  if (hw_gap <= 0) return -1.0;  // parallelize already wins on hardware
+  if (energy_slope_gap >= 0) {
+    return std::numeric_limits<double>::infinity();  // never catches up
+  }
+  return hw_gap / -energy_slope_gap;
+}
+
+}  // namespace ecodb::advisor

@@ -1,0 +1,74 @@
+// Total-cost-of-ownership modeling (Section 5.3 of the paper).
+//
+// "In configuring a system for maximum energy efficiency, we may end up
+// with a configuration that does not meet minimum performance criteria.
+// Two potential solutions ... are to either waste energy and increase
+// performance with diminishing returns or pay for more hardware (use more
+// resources in a cluster) and parallelize, keeping the same energy
+// efficiency. Over time, we expect that the latter solution will prevail
+// since the energy costs will make up a larger fraction of TCO."
+//
+// The model prices both options for a performance target and finds the
+// energy-price crossover at which parallelize-at-the-efficient-point
+// overtakes overdrive-one-box.
+
+#ifndef ECODB_ADVISOR_TCO_H_
+#define ECODB_ADVISOR_TCO_H_
+
+#include <string>
+#include <vector>
+
+namespace ecodb::advisor {
+
+struct TcoParams {
+  double energy_price_usd_per_kwh = 0.10;
+  /// Cooling energy per IT energy ([PBS+03]: 0.5-1.0).
+  double cooling_watts_per_watt = 0.5;
+  /// Amortization horizon for hardware.
+  double amortization_years = 3.0;
+};
+
+/// One node configuration running at a fixed operating point.
+struct NodeConfig {
+  std::string name;
+  double hardware_cost_usd = 0.0;
+  double avg_watts = 0.0;     // IT power at this operating point
+  double perf_units = 0.0;    // throughput delivered at this point
+};
+
+struct TcoReport {
+  double hardware_usd = 0.0;
+  double energy_usd = 0.0;  // over the amortization horizon, incl. cooling
+  double total_usd = 0.0;
+  double usd_per_perf_unit = 0.0;
+  int nodes = 1;
+};
+
+/// TCO of `nodes` copies of `node` over the amortization horizon.
+TcoReport ComputeTco(const NodeConfig& node, const TcoParams& params,
+                     int nodes = 1);
+
+/// Cheapest way to reach `target_perf_units`: ceil-scale either option.
+struct ScalingDecision {
+  TcoReport overdrive;    // few overdriven nodes
+  TcoReport parallelize;  // more efficient-point nodes
+  bool parallelize_wins = false;
+};
+
+ScalingDecision DecideScaling(double target_perf_units,
+                              const NodeConfig& overdriven_node,
+                              const NodeConfig& efficient_node,
+                              const TcoParams& params);
+
+/// Energy price (USD/kWh) above which parallelizing becomes cheaper for
+/// the target, holding everything else fixed. Returns a negative value if
+/// parallelizing already wins at zero energy price, and +infinity if it
+/// never wins.
+double EnergyPriceCrossover(double target_perf_units,
+                            const NodeConfig& overdriven_node,
+                            const NodeConfig& efficient_node,
+                            TcoParams params);
+
+}  // namespace ecodb::advisor
+
+#endif  // ECODB_ADVISOR_TCO_H_

@@ -1,0 +1,59 @@
+#include "catalog/catalog.h"
+
+namespace ecodb::catalog {
+
+StatusOr<TableId> Catalog::CreateTable(const std::string& name,
+                                       Schema schema) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  const TableId id = next_id_++;
+  TableEntry entry;
+  entry.id = id;
+  entry.name = name;
+  entry.schema = std::move(schema);
+  entry.stats.columns.resize(entry.schema.num_columns());
+  by_name_.emplace(name, id);
+  by_id_.emplace(id, std::move(entry));
+  return id;
+}
+
+StatusOr<const TableEntry*> Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return GetTable(it->second);
+}
+
+StatusOr<const TableEntry*> Catalog::GetTable(TableId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no such table id");
+  return &it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  by_id_.erase(it->second);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::UpdateStats(TableId id, TableStats stats) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no such table id");
+  it->second.stats = std::move(stats);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ecodb::catalog

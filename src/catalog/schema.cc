@@ -1,0 +1,66 @@
+#include "catalog/schema.h"
+
+namespace ecodb::catalog {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+int TypeWidthBytes(DataType type, int avg_string_len) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kDate:
+      return 8;
+    case DataType::kString:
+      return avg_string_len;
+  }
+  return 8;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::RowWidthBytes() const {
+  int width = 0;
+  for (const Column& c : columns_) {
+    width += TypeWidthBytes(c.type, c.avg_width);
+  }
+  return width;
+}
+
+StatusOr<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const std::string& n : names) {
+    const int idx = FindColumn(n);
+    if (idx < 0) return Status::NotFound("no column named '" + n + "'");
+    cols.push_back(columns_[idx]);
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::ProjectIndexes(const std::vector<int>& indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(indexes.size());
+  for (int i : indexes) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+}  // namespace ecodb::catalog

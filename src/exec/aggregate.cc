@@ -1,0 +1,215 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ecodb::exec {
+
+using catalog::DataType;
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "unknown";
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<std::string> group_by,
+                                 std::vector<AggregateItem> aggregates)
+    : child_(std::move(child)),
+      group_by_names_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {}
+
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  const catalog::Schema& in = child_->output_schema();
+
+  group_by_.clear();
+  std::vector<catalog::Column> out_cols;
+  for (const std::string& name : group_by_names_) {
+    const int idx = in.FindColumn(name);
+    if (idx < 0) return Status::NotFound("group-by column '" + name + "'");
+    group_by_.push_back(idx);
+    out_cols.push_back(in.column(idx));
+  }
+  for (AggregateItem& item : aggregates_) {
+    DataType out_type = DataType::kDouble;
+    if (item.input != nullptr) {
+      ECODB_RETURN_IF_ERROR(item.input->Bind(in));
+      if (item.input->result_type() == DataType::kString) {
+        return Status::InvalidArgument("aggregates need numeric inputs");
+      }
+    } else if (item.func != AggFunc::kCount) {
+      return Status::InvalidArgument("only COUNT may omit its input");
+    }
+    if (item.func == AggFunc::kCount) out_type = DataType::kInt64;
+    catalog::Column c;
+    c.name = item.name;
+    c.type = out_type;
+    out_cols.push_back(std::move(c));
+  }
+  schema_ = catalog::Schema(std::move(out_cols));
+  groups_.clear();
+  computed_ = false;
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status HashAggregateOp::Consume(const RecordBatch& batch) {
+  const size_t n = batch.num_rows();
+  ctx_->ChargeInstructions(ctx_->options().costs.agg_update_per_row *
+                           static_cast<double>(n));
+
+  // Evaluate aggregate inputs once per batch.
+  std::vector<ColumnData> inputs(aggregates_.size());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (aggregates_[a].input != nullptr) {
+      ctx_->ChargeInstructions(aggregates_[a].input->InstructionsPerRow() *
+                               static_cast<double>(n));
+      ECODB_ASSIGN_OR_RETURN(inputs[a], aggregates_[a].input->Evaluate(batch));
+    }
+  }
+
+  std::string key;
+  for (size_t r = 0; r < n; ++r) {
+    // Encode the group key (deterministic; strings are length-prefixed).
+    key.clear();
+    for (int g : group_by_) {
+      const ColumnData& lane = batch.column(g);
+      switch (lane.type) {
+        case DataType::kInt64:
+        case DataType::kDate: {
+          const int64_t v = lane.i64[r];
+          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case DataType::kDouble: {
+          const double v = lane.f64[r];
+          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case DataType::kString: {
+          const uint32_t len = static_cast<uint32_t>(lane.str[r].size());
+          key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+          key.append(lane.str[r]);
+          break;
+        }
+      }
+    }
+    auto [it, inserted] = groups_.try_emplace(key);
+    GroupState& gs = it->second;
+    if (inserted) {
+      gs.keys.reserve(group_by_.size());
+      for (int g : group_by_) gs.keys.push_back(batch.GetValue(r, g));
+      gs.sum.assign(aggregates_.size(), 0.0);
+      gs.count.assign(aggregates_.size(), 0);
+      gs.min.assign(aggregates_.size(),
+                    std::numeric_limits<double>::infinity());
+      gs.max.assign(aggregates_.size(),
+                    -std::numeric_limits<double>::infinity());
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      double v = 0.0;
+      if (aggregates_[a].input != nullptr) {
+        const ColumnData& lane = inputs[a];
+        v = lane.type == DataType::kDouble ? lane.f64[r]
+                                           : static_cast<double>(lane.i64[r]);
+      }
+      gs.sum[a] += v;
+      gs.count[a] += 1;
+      gs.min[a] = std::min(gs.min[a], v);
+      gs.max[a] = std::max(gs.max[a], v);
+    }
+    gs.seen = true;
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOp::Next(RecordBatch* out, bool* eos) {
+  if (!computed_) {
+    bool child_eos = false;
+    while (true) {
+      RecordBatch batch;
+      ECODB_RETURN_IF_ERROR(child_->Next(&batch, &child_eos));
+      if (child_eos) break;
+      ECODB_RETURN_IF_ERROR(Consume(batch));
+    }
+    // A global aggregate over zero rows still emits one row of zeros.
+    if (groups_.empty() && group_by_.empty()) {
+      GroupState gs;
+      gs.sum.assign(aggregates_.size(), 0.0);
+      gs.count.assign(aggregates_.size(), 0);
+      gs.min.assign(aggregates_.size(), 0.0);
+      gs.max.assign(aggregates_.size(), 0.0);
+      groups_.emplace("", std::move(gs));
+    }
+    emit_order_.clear();
+    emit_order_.reserve(groups_.size());
+    for (const auto& [k, gs] : groups_) emit_order_.push_back(k);
+    // Rough DRAM residency of the aggregation state.
+    ctx_->ChargeDram(groups_.size() *
+                     (32 + 32 * (aggregates_.size() + group_by_.size())));
+    computed_ = true;
+  }
+
+  if (cursor_ >= emit_order_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(ctx_->options().batch_rows, emit_order_.size() - cursor_);
+  RecordBatch batch(schema_);
+  for (size_t i = 0; i < take; ++i) {
+    const GroupState& gs = groups_.at(emit_order_[cursor_ + i]);
+    std::vector<Value> row;
+    row.reserve(schema_.num_columns());
+    for (const Value& k : gs.keys) row.push_back(k);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      switch (aggregates_[a].func) {
+        case AggFunc::kSum:
+          row.push_back(Value::Double(gs.sum[a]));
+          break;
+        case AggFunc::kCount:
+          row.push_back(Value::Int64(gs.count[a]));
+          break;
+        case AggFunc::kMin:
+          row.push_back(Value::Double(gs.count[a] ? gs.min[a] : 0.0));
+          break;
+        case AggFunc::kMax:
+          row.push_back(Value::Double(gs.count[a] ? gs.max[a] : 0.0));
+          break;
+        case AggFunc::kAvg:
+          row.push_back(Value::Double(
+              gs.count[a] ? gs.sum[a] / static_cast<double>(gs.count[a])
+                          : 0.0));
+          break;
+      }
+    }
+    ECODB_RETURN_IF_ERROR(batch.AppendRow(row));
+  }
+  ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
+                           static_cast<double>(take));
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void HashAggregateOp::Close() {
+  child_->Close();
+  groups_.clear();
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,65 @@
+// Hash aggregation: GROUP BY over key columns with SUM/COUNT/MIN/MAX/AVG.
+
+#ifndef ECODB_EXEC_AGGREGATE_H_
+#define ECODB_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace ecodb::exec {
+
+enum class AggFunc { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc func);
+
+/// One aggregate output: func over an input expression.
+struct AggregateItem {
+  std::string name;  // output column name
+  AggFunc func = AggFunc::kCount;
+  /// Input expression; may be null for COUNT(*).
+  ExprPtr input;
+};
+
+class HashAggregateOp final : public Operator {
+ public:
+  /// `group_by` may be empty (global aggregate: exactly one output row).
+  HashAggregateOp(OperatorPtr child, std::vector<std::string> group_by,
+                  std::vector<AggregateItem> aggregates);
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+ private:
+  struct GroupState {
+    std::vector<Value> keys;
+    std::vector<double> sum;
+    std::vector<int64_t> count;
+    std::vector<double> min;
+    std::vector<double> max;
+    bool seen = false;
+  };
+
+  Status Consume(const RecordBatch& batch);
+
+  OperatorPtr child_;
+  std::vector<std::string> group_by_names_;
+  std::vector<int> group_by_;
+  std::vector<AggregateItem> aggregates_;
+  catalog::Schema schema_;
+  // Deterministic output ordering for tests: ordered map on the encoded key.
+  std::map<std::string, GroupState> groups_;
+  bool computed_ = false;
+  std::vector<std::string> emit_order_;
+  size_t cursor_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_AGGREGATE_H_

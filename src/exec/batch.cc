@@ -1,0 +1,135 @@
+#include "exec/batch.h"
+
+#include <cassert>
+
+namespace ecodb::exec {
+
+RecordBatch::RecordBatch(catalog::Schema schema)
+    : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_[i].type = schema_.column(i).type;
+  }
+}
+
+Value RecordBatch::GetValue(size_t row, size_t col) const {
+  assert(row < num_rows_ && col < columns_.size());
+  const ColumnData& c = columns_[col];
+  Value v;
+  v.type = c.type;
+  switch (c.type) {
+    case catalog::DataType::kInt64:
+    case catalog::DataType::kDate:
+      v.i64 = c.i64[row];
+      break;
+    case catalog::DataType::kDouble:
+      v.f64 = c.f64[row];
+      break;
+    case catalog::DataType::kString:
+      v.str = c.str[row];
+      break;
+  }
+  return v;
+}
+
+Status RecordBatch::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type != columns_[i].type) {
+      return Status::InvalidArgument("row type mismatch at column " +
+                                     std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    ColumnData& c = columns_[i];
+    switch (c.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate:
+        c.i64.push_back(row[i].i64);
+        break;
+      case catalog::DataType::kDouble:
+        c.f64.push_back(row[i].f64);
+        break;
+      case catalog::DataType::kString:
+        c.str.push_back(row[i].str);
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status RecordBatch::SealRows(size_t rows) {
+  for (const ColumnData& c : columns_) {
+    if (c.size() != rows) {
+      return Status::InvalidArgument("lane length does not match seal count");
+    }
+  }
+  num_rows_ = rows;
+  return Status::OK();
+}
+
+void RecordBatch::AppendRowFrom(const RecordBatch& src, size_t row) {
+  assert(src.num_columns() == num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    ColumnData& dst = columns_[i];
+    const ColumnData& s = src.columns_[i];
+    switch (dst.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate:
+        dst.i64.push_back(s.i64[row]);
+        break;
+      case catalog::DataType::kDouble:
+        dst.f64.push_back(s.f64[row]);
+        break;
+      case catalog::DataType::kString:
+        dst.str.push_back(s.str[row]);
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+void RecordBatch::FilterInPlace(const std::vector<uint8_t>& mask) {
+  assert(mask.size() == num_rows_);
+  size_t kept = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (!mask[r]) continue;
+    if (kept != r) {
+      for (ColumnData& c : columns_) {
+        switch (c.type) {
+          case catalog::DataType::kInt64:
+          case catalog::DataType::kDate:
+            c.i64[kept] = c.i64[r];
+            break;
+          case catalog::DataType::kDouble:
+            c.f64[kept] = c.f64[r];
+            break;
+          case catalog::DataType::kString:
+            c.str[kept] = std::move(c.str[r]);
+            break;
+        }
+      }
+    }
+    ++kept;
+  }
+  for (ColumnData& c : columns_) {
+    switch (c.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate:
+        c.i64.resize(kept);
+        break;
+      case catalog::DataType::kDouble:
+        c.f64.resize(kept);
+        break;
+      case catalog::DataType::kString:
+        c.str.resize(kept);
+        break;
+    }
+  }
+  num_rows_ = kept;
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,82 @@
+#include "exec/exec_context.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::exec {
+
+ExecContext::ExecContext(power::HardwarePlatform* platform,
+                         ExecOptions options)
+    : platform_(platform), options_(options) {
+  assert(options_.dop >= 1);
+  assert(options_.pstate >= 0 &&
+         options_.pstate < platform_->cpu().num_pstates());
+  start_time_ = platform_->clock()->now();
+  io_completion_ = start_time_;
+  start_snapshot_ = platform_->meter()->Snapshot();
+}
+
+void ExecContext::ChargeInstructions(double instructions) {
+  assert(instructions >= 0);
+  cpu_instructions_ += instructions;
+}
+
+void ExecContext::ChargeRead(storage::StorageDevice* device, uint64_t bytes,
+                             bool sequential) {
+  const storage::IoResult r =
+      device->SubmitRead(start_time_, bytes, sequential);
+  io_completion_ = std::max(io_completion_, r.completion_time);
+  io_service_seconds_ += r.service_seconds;
+  io_bytes_ += bytes;
+}
+
+void ExecContext::ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
+                              bool sequential) {
+  const storage::IoResult r =
+      device->SubmitWrite(start_time_, bytes, sequential);
+  io_completion_ = std::max(io_completion_, r.completion_time);
+  io_service_seconds_ += r.service_seconds;
+  io_bytes_ += bytes;
+}
+
+void ExecContext::ChargeDram(uint64_t bytes) {
+  platform_->ChargeDramAccess(bytes);
+}
+
+double ExecContext::CpuElapsedSeconds() const {
+  const int cores = std::min(options_.dop, platform_->cpu().total_cores());
+  const double core_seconds = platform_->cpu().SecondsForInstructions(
+      cpu_instructions_, options_.pstate);
+  return core_seconds / static_cast<double>(cores);
+}
+
+QueryStats ExecContext::Finish() {
+  assert(!finished_);
+  finished_ = true;
+
+  // Critical path: CPU work pipelines with I/O (vectorized pull loops keep
+  // both sides busy), so the query ends when the slower side ends.
+  const double cpu_core_seconds = platform_->cpu().SecondsForInstructions(
+      cpu_instructions_, options_.pstate);
+  const double cpu_elapsed = CpuElapsedSeconds();
+  const double end_time =
+      std::max(start_time_ + cpu_elapsed, io_completion_);
+
+  // CPU active energy settles at query end.
+  platform_->ChargeCpuAt(end_time, cpu_core_seconds, options_.pstate);
+  platform_->clock()->AdvanceTo(end_time);
+
+  QueryStats stats;
+  stats.start_time = start_time_;
+  stats.end_time = end_time;
+  stats.elapsed_seconds = end_time - start_time_;
+  stats.cpu_seconds = cpu_core_seconds;
+  stats.io_seconds = io_service_seconds_;
+  stats.io_bytes = io_bytes_;
+  stats.rows_emitted = rows_emitted_;
+  stats.energy = platform_->BreakdownBetween(start_snapshot_,
+                                             platform_->meter()->Snapshot());
+  return stats;
+}
+
+}  // namespace ecodb::exec

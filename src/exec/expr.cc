@@ -1,0 +1,342 @@
+#include "exec/expr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecodb::exec {
+
+using catalog::DataType;
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->compare_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Logical(LogicalOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kLogical;
+  e->logical_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->lhs_ = std::move(inner);
+  return e;
+}
+
+namespace {
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kDate;
+}
+}  // namespace
+
+Status Expr::Bind(const catalog::Schema& schema) {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      column_index_ = schema.FindColumn(column_name_);
+      if (column_index_ < 0) {
+        return Status::NotFound("unbound column '" + column_name_ + "'");
+      }
+      result_type_ = schema.column(column_index_).type;
+      break;
+    }
+    case ExprKind::kLiteral:
+      result_type_ = literal_.type;
+      break;
+    case ExprKind::kCompare: {
+      ECODB_RETURN_IF_ERROR(lhs_->Bind(schema));
+      ECODB_RETURN_IF_ERROR(rhs_->Bind(schema));
+      const DataType lt = lhs_->result_type_;
+      const DataType rt = rhs_->result_type_;
+      const bool both_numeric = IsNumeric(lt) && IsNumeric(rt);
+      const bool both_string =
+          lt == DataType::kString && rt == DataType::kString;
+      if (!both_numeric && !both_string) {
+        return Status::InvalidArgument("comparison type mismatch");
+      }
+      result_type_ = DataType::kInt64;
+      break;
+    }
+    case ExprKind::kArith: {
+      ECODB_RETURN_IF_ERROR(lhs_->Bind(schema));
+      ECODB_RETURN_IF_ERROR(rhs_->Bind(schema));
+      if (!IsNumeric(lhs_->result_type_) || !IsNumeric(rhs_->result_type_)) {
+        return Status::InvalidArgument("arithmetic on non-numeric operand");
+      }
+      const bool any_double = lhs_->result_type_ == DataType::kDouble ||
+                              rhs_->result_type_ == DataType::kDouble ||
+                              arith_op_ == ArithOp::kDiv;
+      result_type_ = any_double ? DataType::kDouble : DataType::kInt64;
+      break;
+    }
+    case ExprKind::kLogical:
+      ECODB_RETURN_IF_ERROR(lhs_->Bind(schema));
+      ECODB_RETURN_IF_ERROR(rhs_->Bind(schema));
+      result_type_ = DataType::kInt64;
+      break;
+    case ExprKind::kNot:
+      ECODB_RETURN_IF_ERROR(lhs_->Bind(schema));
+      result_type_ = DataType::kInt64;
+      break;
+  }
+  bound_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+// Numeric lane view: promotes int64/date lanes to double on demand.
+double NumericAt(const ColumnData& c, size_t row) {
+  return c.type == DataType::kDouble ? c.f64[row]
+                                     : static_cast<double>(c.i64[row]);
+}
+
+bool CompareDoubles(CompareOp op, double a, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool CompareStrings(CompareOp op, const std::string& a,
+                    const std::string& b) {
+  const int c = a.compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<ColumnData> Expr::Evaluate(const RecordBatch& batch) const {
+  if (!bound_) return Status::FailedPrecondition("expression not bound");
+  const size_t n = batch.num_rows();
+  ColumnData out;
+  out.type = result_type_;
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return batch.column(column_index_);
+    case ExprKind::kLiteral: {
+      switch (result_type_) {
+        case DataType::kInt64:
+        case DataType::kDate:
+          out.i64.assign(n, literal_.i64);
+          break;
+        case DataType::kDouble:
+          out.f64.assign(n, literal_.f64);
+          break;
+        case DataType::kString:
+          out.str.assign(n, literal_.str);
+          break;
+      }
+      return out;
+    }
+    case ExprKind::kCompare: {
+      ECODB_ASSIGN_OR_RETURN(ColumnData l, lhs_->Evaluate(batch));
+      ECODB_ASSIGN_OR_RETURN(ColumnData r, rhs_->Evaluate(batch));
+      out.i64.resize(n);
+      if (l.type == DataType::kString) {
+        for (size_t i = 0; i < n; ++i) {
+          out.i64[i] = CompareStrings(compare_op_, l.str[i], r.str[i]);
+        }
+      } else if (l.type != DataType::kDouble && r.type != DataType::kDouble) {
+        for (size_t i = 0; i < n; ++i) {
+          out.i64[i] =
+              CompareDoubles(compare_op_, static_cast<double>(l.i64[i]),
+                             static_cast<double>(r.i64[i]));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out.i64[i] = CompareDoubles(compare_op_, NumericAt(l, i),
+                                      NumericAt(r, i));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kArith: {
+      ECODB_ASSIGN_OR_RETURN(ColumnData l, lhs_->Evaluate(batch));
+      ECODB_ASSIGN_OR_RETURN(ColumnData r, rhs_->Evaluate(batch));
+      if (result_type_ == DataType::kInt64) {
+        out.i64.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          switch (arith_op_) {
+            case ArithOp::kAdd:
+              out.i64[i] = l.i64[i] + r.i64[i];
+              break;
+            case ArithOp::kSub:
+              out.i64[i] = l.i64[i] - r.i64[i];
+              break;
+            case ArithOp::kMul:
+              out.i64[i] = l.i64[i] * r.i64[i];
+              break;
+            case ArithOp::kDiv:
+              assert(false && "integer division promotes to double");
+              break;
+          }
+        }
+      } else {
+        out.f64.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          const double a = NumericAt(l, i);
+          const double b = NumericAt(r, i);
+          switch (arith_op_) {
+            case ArithOp::kAdd:
+              out.f64[i] = a + b;
+              break;
+            case ArithOp::kSub:
+              out.f64[i] = a - b;
+              break;
+            case ArithOp::kMul:
+              out.f64[i] = a * b;
+              break;
+            case ArithOp::kDiv:
+              out.f64[i] = b == 0.0 ? 0.0 : a / b;
+              break;
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kLogical: {
+      ECODB_ASSIGN_OR_RETURN(ColumnData l, lhs_->Evaluate(batch));
+      ECODB_ASSIGN_OR_RETURN(ColumnData r, rhs_->Evaluate(batch));
+      out.i64.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.i64[i] = logical_op_ == LogicalOp::kAnd
+                         ? (l.i64[i] != 0 && r.i64[i] != 0)
+                         : (l.i64[i] != 0 || r.i64[i] != 0);
+      }
+      return out;
+    }
+    case ExprKind::kNot: {
+      ECODB_ASSIGN_OR_RETURN(ColumnData l, lhs_->Evaluate(batch));
+      out.i64.resize(n);
+      for (size_t i = 0; i < n; ++i) out.i64[i] = l.i64[i] == 0;
+      return out;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+StatusOr<std::vector<uint8_t>> Expr::EvaluateMask(
+    const RecordBatch& batch) const {
+  if (result_type_ != DataType::kInt64) {
+    return Status::InvalidArgument("mask expression must be boolean/int64");
+  }
+  ECODB_ASSIGN_OR_RETURN(ColumnData vals, Evaluate(batch));
+  std::vector<uint8_t> mask(batch.num_rows());
+  for (size_t i = 0; i < mask.size(); ++i) mask[i] = vals.i64[i] != 0;
+  return mask;
+}
+
+double Expr::InstructionsPerRow() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return 1.0;
+    case ExprKind::kLiteral:
+      return 0.5;
+    case ExprKind::kCompare:
+      return 2.0 + lhs_->InstructionsPerRow() + rhs_->InstructionsPerRow();
+    case ExprKind::kArith:
+      return 1.5 + lhs_->InstructionsPerRow() + rhs_->InstructionsPerRow();
+    case ExprKind::kLogical:
+      return 1.0 + lhs_->InstructionsPerRow() + rhs_->InstructionsPerRow();
+    case ExprKind::kNot:
+      return 1.0 + lhs_->InstructionsPerRow();
+  }
+  return 1.0;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_name_;
+    case ExprKind::kLiteral:
+      switch (literal_.type) {
+        case DataType::kInt64:
+          return std::to_string(literal_.i64);
+        case DataType::kDate:
+          return "date:" + std::to_string(literal_.i64);
+        case DataType::kDouble:
+          return std::to_string(literal_.f64);
+        case DataType::kString:
+          return "'" + literal_.str + "'";
+      }
+      return "?";
+    case ExprKind::kCompare: {
+      static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+      return "(" + lhs_->ToString() + " " +
+             kOps[static_cast<int>(compare_op_)] + " " + rhs_->ToString() +
+             ")";
+    }
+    case ExprKind::kArith: {
+      static const char* kOps[] = {"+", "-", "*", "/"};
+      return "(" + lhs_->ToString() + " " +
+             kOps[static_cast<int>(arith_op_)] + " " + rhs_->ToString() + ")";
+    }
+    case ExprKind::kLogical:
+      return "(" + lhs_->ToString() +
+             (logical_op_ == LogicalOp::kAnd ? " AND " : " OR ") +
+             rhs_->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT " + lhs_->ToString();
+  }
+  return "?";
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,163 @@
+// Expression trees: column references, literals, comparisons, arithmetic,
+// and boolean connectives, evaluated columnwise over RecordBatches.
+//
+// Expressions are built programmatically (EcoDB's API is an embedded query
+// builder, not a SQL parser), bound against an input schema, and evaluated
+// to produce either a value lane or a selection mask.
+
+#ifndef ECODB_EXEC_EXPR_H_
+#define ECODB_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "util/status.h"
+
+namespace ecodb::exec {
+
+enum class ExprKind {
+  kColumn,
+  kLiteral,
+  kCompare,
+  kArith,
+  kLogical,
+  kNot,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class LogicalOp { kAnd, kOr };
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Immutable expression node.
+class Expr {
+ public:
+  // Factories.
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Logical(LogicalOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr inner);
+
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  LogicalOp logical_op() const { return logical_op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Resolves column names to indexes and checks types against `schema`.
+  /// Must be called (again) before Evaluate when the input schema changes.
+  Status Bind(const catalog::Schema& schema);
+
+  /// Output type after a successful Bind.
+  catalog::DataType result_type() const { return result_type_; }
+
+  /// Evaluates over the batch into a column lane. Boolean results use the
+  /// int64 lane with values 0/1.
+  StatusOr<ColumnData> Evaluate(const RecordBatch& batch) const;
+
+  /// Evaluates as a selection mask (expression must be boolean-typed).
+  StatusOr<std::vector<uint8_t>> EvaluateMask(const RecordBatch& batch) const;
+
+  /// Abstract per-row instruction cost of evaluating this tree (drives the
+  /// CPU energy charge; shared with the optimizer's estimates).
+  double InstructionsPerRow() const;
+
+  /// Human-readable rendering, e.g. "(price > 100.0 AND qty < 5)".
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string column_name_;
+  int column_index_ = -1;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  catalog::DataType result_type_ = catalog::DataType::kInt64;
+  bool bound_ = false;
+};
+
+// Terse builder helpers for call sites:
+//   Col("price") > Lit(100.0), And(a, b) ...
+inline ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
+inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value::Int64(v)); }
+inline ExprPtr Lit(double v) { return Expr::Literal(Value::Double(v)); }
+inline ExprPtr Lit(const char* v) { return Expr::Literal(Value::String(v)); }
+inline ExprPtr LitDate(int64_t days) {
+  return Expr::Literal(Value::Date(days));
+}
+
+inline ExprPtr operator==(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr operator!=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Logical(LogicalOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::Logical(LogicalOp::kOr, std::move(a), std::move(b));
+}
+
+/// lo <= expr AND expr <= hi (both ends inclusive, SQL BETWEEN).
+inline ExprPtr Between(ExprPtr value, ExprPtr lo, ExprPtr hi) {
+  ExprPtr lower = Expr::Compare(CompareOp::kGe, value, std::move(lo));
+  ExprPtr upper =
+      Expr::Compare(CompareOp::kLe, std::move(value), std::move(hi));
+  return And(std::move(lower), std::move(upper));
+}
+
+/// expr = v1 OR expr = v2 OR ... (SQL IN over literals). Requires at least
+/// one candidate.
+template <typename T>
+ExprPtr In(ExprPtr value, const std::vector<T>& candidates) {
+  ExprPtr result;
+  for (const T& c : candidates) {
+    ExprPtr term = Expr::Compare(CompareOp::kEq, value, Lit(c));
+    result = !result ? std::move(term)
+                     : Or(std::move(result), std::move(term));
+  }
+  return result;
+}
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_EXPR_H_

@@ -1,0 +1,57 @@
+// Filter and projection operators.
+
+#ifndef ECODB_EXEC_FILTER_PROJECT_H_
+#define ECODB_EXEC_FILTER_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace ecodb::exec {
+
+/// Keeps rows for which `predicate` evaluates non-zero.
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  const catalog::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// One output column: an expression plus its name.
+struct ProjectionItem {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// Computes expressions over the child's rows.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ProjectionItem> items);
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProjectionItem> items_;
+  catalog::Schema schema_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_FILTER_PROJECT_H_

@@ -1,0 +1,337 @@
+#include "exec/joins.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ecodb::exec {
+
+using catalog::DataType;
+
+catalog::Schema JoinedSchema(const catalog::Schema& left,
+                             const catalog::Schema& right) {
+  std::vector<catalog::Column> cols = left.columns();
+  for (const catalog::Column& rc : right.columns()) {
+    catalog::Column c = rc;
+    if (left.FindColumn(c.name) >= 0) c.name += "_r";
+    cols.push_back(std::move(c));
+  }
+  return catalog::Schema(std::move(cols));
+}
+
+namespace {
+
+/// Materializes everything a child produces into one batch.
+Status Drain(Operator* child, ExecContext* ctx, RecordBatch* out) {
+  *out = RecordBatch(child->output_schema());
+  bool eos = false;
+  while (true) {
+    RecordBatch batch;
+    ECODB_RETURN_IF_ERROR(child->Next(&batch, &eos));
+    if (eos) return Status::OK();
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      out->AppendRowFrom(batch, r);
+    }
+    (void)ctx;
+  }
+}
+
+/// Nominal resident bytes of a materialized batch.
+uint64_t BatchBytes(const RecordBatch& batch) {
+  uint64_t bytes = 0;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnData& lane = batch.column(c);
+    bytes += lane.i64.size() * 8 + lane.f64.size() * 8;
+    for (const std::string& s : lane.str) bytes += s.size() + 16;
+  }
+  return bytes;
+}
+
+/// Emits left row `lr` joined with build row `rr` into `out`.
+void EmitJoined(const RecordBatch& left, size_t lr, const RecordBatch& right,
+                size_t rr, RecordBatch* out) {
+  const size_t lcols = left.num_columns();
+  for (size_t c = 0; c < lcols; ++c) {
+    ColumnData& dst = out->column(c);
+    const ColumnData& src = left.column(c);
+    switch (src.type) {
+      case DataType::kInt64:
+      case DataType::kDate:
+        dst.i64.push_back(src.i64[lr]);
+        break;
+      case DataType::kDouble:
+        dst.f64.push_back(src.f64[lr]);
+        break;
+      case DataType::kString:
+        dst.str.push_back(src.str[lr]);
+        break;
+    }
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    ColumnData& dst = out->column(lcols + c);
+    const ColumnData& src = right.column(c);
+    switch (src.type) {
+      case DataType::kInt64:
+      case DataType::kDate:
+        dst.i64.push_back(src.i64[rr]);
+        break;
+      case DataType::kDouble:
+        dst.f64.push_back(src.f64[rr]);
+        break;
+      case DataType::kString:
+        dst.str.push_back(src.str[rr]);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// HashJoinOp
+// --------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::string left_key, std::string right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_name_(std::move(left_key)),
+      right_key_name_(std::move(right_key)) {}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(left_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = JoinedSchema(left_->output_schema(), right_->output_schema());
+
+  left_key_ = left_->output_schema().FindColumn(left_key_name_);
+  right_key_ = right_->output_schema().FindColumn(right_key_name_);
+  if (left_key_ < 0 || right_key_ < 0) {
+    return Status::NotFound("join key column not found");
+  }
+  const DataType lt = left_->output_schema().column(left_key_).type;
+  const DataType rt = right_->output_schema().column(right_key_).type;
+  if ((lt == DataType::kString) != (rt == DataType::kString)) {
+    return Status::InvalidArgument("join key type mismatch");
+  }
+  if (lt == DataType::kDouble || rt == DataType::kDouble) {
+    return Status::InvalidArgument("hash join keys must be int64 or string");
+  }
+  string_key_ = lt == DataType::kString;
+
+  // Build phase: materialize the right side and index it.
+  ECODB_RETURN_IF_ERROR(Drain(right_.get(), ctx, &build_rows_));
+  const ColumnData& key_lane = build_rows_.column(right_key_);
+  for (size_t r = 0; r < build_rows_.num_rows(); ++r) {
+    if (string_key_) {
+      str_index_.emplace(key_lane.str[r], r);
+    } else {
+      i64_index_.emplace(key_lane.i64[r], r);
+    }
+  }
+  build_bytes_ = BatchBytes(build_rows_) +
+                 build_rows_.num_rows() * 32;  // bucket + entry overhead
+  ctx->ChargeInstructions(ctx->options().costs.hash_build_per_row *
+                          static_cast<double>(build_rows_.num_rows()));
+  ctx->ChargeDram(build_bytes_);
+  return Status::OK();
+}
+
+Status HashJoinOp::Next(RecordBatch* out, bool* eos) {
+  while (true) {
+    RecordBatch probe;
+    ECODB_RETURN_IF_ERROR(left_->Next(&probe, eos));
+    if (*eos) return Status::OK();
+    ctx_->ChargeInstructions(ctx_->options().costs.hash_probe_per_row *
+                             static_cast<double>(probe.num_rows()));
+    RecordBatch joined(schema_);
+    const ColumnData& keys = probe.column(left_key_);
+    size_t matches = 0;
+    for (size_t r = 0; r < probe.num_rows(); ++r) {
+      if (string_key_) {
+        auto [lo, hi] = str_index_.equal_range(keys.str[r]);
+        for (auto it = lo; it != hi; ++it) {
+          EmitJoined(probe, r, build_rows_, it->second, &joined);
+          ++matches;
+        }
+      } else {
+        auto [lo, hi] = i64_index_.equal_range(keys.i64[r]);
+        for (auto it = lo; it != hi; ++it) {
+          EmitJoined(probe, r, build_rows_, it->second, &joined);
+          ++matches;
+        }
+      }
+    }
+    ECODB_RETURN_IF_ERROR(joined.SealRows(matches));
+    ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
+                             static_cast<double>(matches));
+    *out = std::move(joined);
+    return Status::OK();
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  i64_index_.clear();
+  str_index_.clear();
+}
+
+// --------------------------------------------------------------------------
+// NestedLoopJoinOp
+// --------------------------------------------------------------------------
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)) {}
+
+Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(left_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = JoinedSchema(left_->output_schema(), right_->output_schema());
+  ECODB_RETURN_IF_ERROR(Drain(right_.get(), ctx, &inner_));
+  return predicate_->Bind(schema_);
+}
+
+Status NestedLoopJoinOp::Next(RecordBatch* out, bool* eos) {
+  RecordBatch outer;
+  ECODB_RETURN_IF_ERROR(left_->Next(&outer, eos));
+  if (*eos) return Status::OK();
+
+  // Cross product of this outer batch with the inner side, then filter.
+  // The quadratic pair cost is the point: NLJ trades memory for cycles.
+  ctx_->ChargeInstructions(ctx_->options().costs.nl_join_inner_per_pair *
+                           static_cast<double>(outer.num_rows()) *
+                           static_cast<double>(inner_.num_rows()));
+  RecordBatch joined(schema_);
+  for (size_t lr = 0; lr < outer.num_rows(); ++lr) {
+    for (size_t rr = 0; rr < inner_.num_rows(); ++rr) {
+      EmitJoined(outer, lr, inner_, rr, &joined);
+    }
+  }
+  ECODB_RETURN_IF_ERROR(
+      joined.SealRows(outer.num_rows() * inner_.num_rows()));
+  ECODB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                         predicate_->EvaluateMask(joined));
+  joined.FilterInPlace(mask);
+  ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
+                           static_cast<double>(joined.num_rows()));
+  *out = std::move(joined);
+  return Status::OK();
+}
+
+void NestedLoopJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+// --------------------------------------------------------------------------
+// MergeJoinOp
+// --------------------------------------------------------------------------
+
+MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
+                         std::string left_key, std::string right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_name_(std::move(left_key)),
+      right_key_name_(std::move(right_key)) {}
+
+Status MergeJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(left_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(right_->Open(ctx));
+  schema_ = JoinedSchema(left_->output_schema(), right_->output_schema());
+
+  const int lk = left_->output_schema().FindColumn(left_key_name_);
+  const int rk = right_->output_schema().FindColumn(right_key_name_);
+  if (lk < 0 || rk < 0) return Status::NotFound("join key column not found");
+  if (left_->output_schema().column(lk).type != DataType::kInt64 ||
+      right_->output_schema().column(rk).type != DataType::kInt64) {
+    return Status::InvalidArgument("merge join requires int64 keys");
+  }
+
+  RecordBatch lrows, rrows;
+  ECODB_RETURN_IF_ERROR(Drain(left_.get(), ctx, &lrows));
+  ECODB_RETURN_IF_ERROR(Drain(right_.get(), ctx, &rrows));
+
+  auto sorted_order = [&](const RecordBatch& b, int key) {
+    std::vector<size_t> order(b.num_rows());
+    std::iota(order.begin(), order.end(), size_t{0});
+    const ColumnData& lane = b.column(key);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+      return lane.i64[a] < lane.i64[c];
+    });
+    return order;
+  };
+  const std::vector<size_t> lorder = sorted_order(lrows, lk);
+  const std::vector<size_t> rorder = sorted_order(rrows, rk);
+  const auto nlogn = [](size_t n) {
+    return n > 1 ? static_cast<double>(n) *
+                       std::log2(static_cast<double>(n))
+                 : 0.0;
+  };
+  ctx->ChargeInstructions(ctx->options().costs.sort_per_row_log_row *
+                          (nlogn(lrows.num_rows()) + nlogn(rrows.num_rows())));
+
+  // Merge equal-key runs.
+  output_ = RecordBatch(schema_);
+  const ColumnData& lkeys = lrows.column(lk);
+  const ColumnData& rkeys = rrows.column(rk);
+  size_t i = 0, j = 0, emitted = 0;
+  while (i < lorder.size() && j < rorder.size()) {
+    const int64_t lv = lkeys.i64[lorder[i]];
+    const int64_t rv = rkeys.i64[rorder[j]];
+    if (lv < rv) {
+      ++i;
+    } else if (lv > rv) {
+      ++j;
+    } else {
+      size_t jend = j;
+      while (jend < rorder.size() && rkeys.i64[rorder[jend]] == lv) ++jend;
+      size_t iend = i;
+      while (iend < lorder.size() && lkeys.i64[lorder[iend]] == lv) ++iend;
+      for (size_t a = i; a < iend; ++a) {
+        for (size_t b = j; b < jend; ++b) {
+          EmitJoined(lrows, lorder[a], rrows, rorder[b], &output_);
+          ++emitted;
+        }
+      }
+      i = iend;
+      j = jend;
+    }
+  }
+  ECODB_RETURN_IF_ERROR(output_.SealRows(emitted));
+  ctx->ChargeInstructions(
+      ctx->options().costs.output_per_row * static_cast<double>(emitted) +
+      2.0 * static_cast<double>(lorder.size() + rorder.size()));
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status MergeJoinOp::Next(RecordBatch* out, bool* eos) {
+  const size_t batch_rows = ctx_->options().batch_rows;
+  if (cursor_ >= output_.num_rows()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take = std::min(batch_rows, output_.num_rows() - cursor_);
+  RecordBatch batch(schema_);
+  for (size_t r = cursor_; r < cursor_ + take; ++r) {
+    batch.AppendRowFrom(output_, r);
+  }
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void MergeJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,294 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+#include "exec/operator.h"
+#include "storage/zone_map.h"
+
+namespace ecodb::exec {
+
+StatusOr<QueryResultSet> CollectAll(Operator* root, ExecContext* ctx) {
+  ECODB_RETURN_IF_ERROR(root->Open(ctx));
+  QueryResultSet result;
+  result.schema = root->output_schema();
+  bool eos = false;
+  while (!eos) {
+    RecordBatch batch;
+    ECODB_RETURN_IF_ERROR(root->Next(&batch, &eos));
+    if (batch.num_rows() > 0) {
+      ctx->CountRows(batch.num_rows());
+      result.batches.push_back(std::move(batch));
+    }
+  }
+  root->Close();
+  return result;
+}
+
+namespace {
+
+// Conservative per-block predicate check: may a row in a block with zone
+// entry `z` satisfy `op` against literal `v`? Works on the numeric view.
+bool ZoneMayMatch(CompareOp op, double zmin, double zmax, double v) {
+  switch (op) {
+    case CompareOp::kEq:
+      return zmin <= v && v <= zmax;
+    case CompareOp::kNe:
+      return !(zmin == v && zmax == v);
+    case CompareOp::kLt:
+      return zmin < v;
+    case CompareOp::kLe:
+      return zmin <= v;
+    case CompareOp::kGt:
+      return zmax > v;
+    case CompareOp::kGe:
+      return zmax >= v;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Recursively evaluates the prune filter over zone maps into a per-block
+// "may match" bitmap. Unknown shapes prune nothing (all true).
+std::vector<bool> ZoneBlocksMayMatch(const ExprPtr& e,
+                                     const storage::TableStorage& table) {
+  const storage::ZoneMapSet& zones = table.zone_maps();
+  const size_t n = zones.num_blocks();
+  std::vector<bool> all(n, true);
+  if (e == nullptr) return all;
+
+  switch (e->kind()) {
+    case ExprKind::kLogical: {
+      std::vector<bool> l = ZoneBlocksMayMatch(e->lhs(), table);
+      const std::vector<bool> r = ZoneBlocksMayMatch(e->rhs(), table);
+      for (size_t i = 0; i < n; ++i) {
+        l[i] = e->logical_op() == LogicalOp::kAnd ? (l[i] && r[i])
+                                                  : (l[i] || r[i]);
+      }
+      return l;
+    }
+    case ExprKind::kCompare: {
+      const ExprPtr& lhs = e->lhs();
+      const ExprPtr& rhs = e->rhs();
+      const bool col_lit = lhs->kind() == ExprKind::kColumn &&
+                           rhs->kind() == ExprKind::kLiteral;
+      const bool lit_col = lhs->kind() == ExprKind::kLiteral &&
+                           rhs->kind() == ExprKind::kColumn;
+      if (!col_lit && !lit_col) return all;
+      const std::string& name =
+          col_lit ? lhs->column_name() : rhs->column_name();
+      const Value& lit = col_lit ? rhs->literal() : lhs->literal();
+      const int col = table.schema().FindColumn(name);
+      if (col < 0) return all;
+
+      CompareOp op = e->compare_op();
+      if (lit_col) {  // normalize "lit OP col" to "col OP' lit"
+        switch (op) {
+          case CompareOp::kLt:
+            op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            op = CompareOp::kLe;
+            break;
+          default:
+            break;
+        }
+      }
+
+      const catalog::DataType type = table.schema().column(col).type;
+      std::vector<bool> out(n, true);
+      for (size_t b = 0; b < n; ++b) {
+        const storage::ZoneEntry& z = table.zone_maps().entries[col][b];
+        double zmin, zmax, v;
+        if (type == catalog::DataType::kDouble) {
+          zmin = z.min_f64;
+          zmax = z.max_f64;
+          v = lit.AsDouble();
+        } else if (type == catalog::DataType::kString) {
+          if (lit.type != catalog::DataType::kString) return all;
+          zmin = static_cast<double>(z.min_i64);
+          zmax = static_cast<double>(z.max_i64);
+          v = static_cast<double>(storage::ZoneStringPrefixKey(lit.str));
+          // Prefix summaries only support equality pruning safely (two
+          // different strings can share a prefix key).
+          if (op != CompareOp::kEq) return all;
+        } else {
+          zmin = static_cast<double>(z.min_i64);
+          zmax = static_cast<double>(z.max_i64);
+          v = lit.AsDouble();
+        }
+        out[b] = ZoneMayMatch(op, zmin, zmax, v);
+      }
+      return out;
+    }
+    default:
+      return all;  // NOT and arithmetic shapes: no pruning
+  }
+}
+
+TableScanOp::TableScanOp(const storage::TableStorage* table,
+                         std::vector<std::string> columns,
+                         ExprPtr prune_filter)
+    : table_(table),
+      column_names_(std::move(columns)),
+      prune_filter_(std::move(prune_filter)) {}
+
+Status TableScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  batch_rows_ = ctx->options().batch_rows;
+
+  column_indexes_.clear();
+  if (column_names_.empty()) {
+    for (int i = 0; i < table_->schema().num_columns(); ++i) {
+      column_indexes_.push_back(i);
+      column_names_.push_back(table_->schema().column(i).name);
+    }
+  } else {
+    for (const std::string& name : column_names_) {
+      const int idx = table_->schema().FindColumn(name);
+      if (idx < 0) return Status::NotFound("scan column '" + name + "'");
+      column_indexes_.push_back(idx);
+    }
+  }
+  schema_ = table_->schema().ProjectIndexes(column_indexes_);
+
+  // --- Zone-map pruning: selected row ranges + the surviving fraction.
+  const size_t total_rows = table_->row_count();
+  ranges_.clear();
+  blocks_skipped_ = 0;
+  double selected_fraction = 1.0;
+  const bool pruning = prune_filter_ != nullptr &&
+                       !table_->zone_maps().empty() && total_rows > 0;
+  if (pruning) {
+    const std::vector<bool> keep = ZoneBlocksMayMatch(prune_filter_, *table_);
+    const size_t block_rows = table_->zone_maps().block_rows;
+    size_t kept_blocks = 0;
+    for (size_t b = 0; b < keep.size(); ++b) {
+      if (!keep[b]) {
+        ++blocks_skipped_;
+        continue;
+      }
+      ++kept_blocks;
+      const size_t begin = b * block_rows;
+      const size_t end = std::min(total_rows, begin + block_rows);
+      if (!ranges_.empty() && ranges_.back().end == begin) {
+        ranges_.back().end = end;  // coalesce adjacent blocks
+      } else {
+        ranges_.push_back({begin, end});
+      }
+    }
+    selected_fraction = keep.empty()
+                            ? 1.0
+                            : static_cast<double>(kept_blocks) /
+                                  static_cast<double>(keep.size());
+  } else {
+    ranges_.push_back({0, total_rows});
+  }
+
+  // --- Device transfer. Skipped blocks skip their bytes for prunable
+  // storage (uncompressed columns / row layout); whole-column codecs must
+  // still stream fully.
+  uint64_t bytes = 0;
+  if (table_->layout() == storage::TableLayout::kRow) {
+    bytes = static_cast<uint64_t>(
+        static_cast<double>(table_->ScanBytes(column_indexes_)) *
+        selected_fraction);
+  } else {
+    for (int idx : column_indexes_) {
+      const storage::ColumnLayout& layout = table_->column_layout(idx);
+      if (layout.compression == storage::CompressionKind::kNone) {
+        bytes += static_cast<uint64_t>(
+            static_cast<double>(layout.encoded_bytes) * selected_fraction);
+      } else {
+        bytes += layout.encoded_bytes;
+      }
+    }
+  }
+  if (bytes > 0 && table_->device() != nullptr) {
+    ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true);
+  }
+
+  // --- Real decode of compressed columns + per-value touch cost.
+  decoded_.clear();
+  decoded_.reserve(column_indexes_.size());
+  double decode_instr = 0.0;
+  for (int idx : column_indexes_) {
+    ECODB_ASSIGN_OR_RETURN(storage::ColumnData data,
+                           table_->ReadColumn(idx));
+    decoded_.push_back(std::move(data));
+    const storage::ColumnLayout& layout = table_->column_layout(idx);
+    double per_value = 1.0;
+    double rows = static_cast<double>(total_rows) * selected_fraction;
+    if (layout.compression == storage::CompressionKind::kDictionary) {
+      per_value = storage::StringDictionaryCodec()
+                      .cost_profile()
+                      .decode_instructions_per_value;
+      rows = static_cast<double>(total_rows);  // whole-column decode
+    } else if (layout.compression != storage::CompressionKind::kNone) {
+      per_value = storage::MakeInt64Codec(layout.compression)
+                      ->cost_profile()
+                      .decode_instructions_per_value;
+      rows = static_cast<double>(total_rows);
+    }
+    decode_instr += per_value * rows;
+  }
+  ctx->ChargeInstructions(decode_instr * ctx->options().costs.decode_scale);
+
+  range_idx_ = 0;
+  cursor_ = ranges_.empty() ? 0 : ranges_[0].begin;
+  open_ = true;
+  return Status::OK();
+}
+
+Status TableScanOp::Next(RecordBatch* out, bool* eos) {
+  if (!open_) return Status::FailedPrecondition("scan not open");
+  // Advance past exhausted ranges.
+  while (range_idx_ < ranges_.size() && cursor_ >= ranges_[range_idx_].end) {
+    ++range_idx_;
+    if (range_idx_ < ranges_.size()) cursor_ = ranges_[range_idx_].begin;
+  }
+  if (range_idx_ >= ranges_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(batch_rows_, ranges_[range_idx_].end - cursor_);
+  RecordBatch batch(schema_);
+  for (size_t c = 0; c < decoded_.size(); ++c) {
+    storage::ColumnData& lane = batch.column(c);
+    const storage::ColumnData& src = decoded_[c];
+    switch (src.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate:
+        lane.i64.assign(src.i64.begin() + static_cast<long>(cursor_),
+                        src.i64.begin() + static_cast<long>(cursor_ + take));
+        break;
+      case catalog::DataType::kDouble:
+        lane.f64.assign(src.f64.begin() + static_cast<long>(cursor_),
+                        src.f64.begin() + static_cast<long>(cursor_ + take));
+        break;
+      case catalog::DataType::kString:
+        lane.str.assign(src.str.begin() + static_cast<long>(cursor_),
+                        src.str.begin() + static_cast<long>(cursor_ + take));
+        break;
+    }
+  }
+  ECODB_RETURN_IF_ERROR(batch.SealRows(take));
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void TableScanOp::Close() {
+  decoded_.clear();
+  open_ = false;
+}
+
+}  // namespace ecodb::exec

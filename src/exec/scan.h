@@ -1,0 +1,75 @@
+// Table scan operator, with optional zone-map pruning.
+//
+// Streams a TableStorage's projected columns as record batches. On Open it
+// submits the device I/O for the projected footprint (sequential stream —
+// the whole point of the Figure 2 experiment is the size of this transfer
+// under different compression choices) and performs the real decode of any
+// compressed columns, charging the corresponding CPU instructions.
+//
+// When the table has zone maps and a prune filter is supplied, blocks whose
+// min/max cannot satisfy the filter are skipped: their rows are never
+// emitted, and — for uncompressed columns and row-layout tables — their
+// bytes are never transferred, so skipped I/O is skipped energy. Pruning is
+// conservative (may emit non-matching rows); exact filtering still belongs
+// to a downstream FilterOp.
+
+#ifndef ECODB_EXEC_SCAN_H_
+#define ECODB_EXEC_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::exec {
+
+/// Per-block "may match" bitmap of `filter` against `table`'s zone maps
+/// (conservative: unknown shapes prune nothing). Exposed for the planner's
+/// scan-cost estimation; empty when the table has no zone maps.
+std::vector<bool> ZoneBlocksMayMatch(const ExprPtr& filter,
+                                     const storage::TableStorage& table);
+
+class TableScanOp final : public Operator {
+ public:
+  /// Projects `columns` (empty = all columns) from `table`. A non-null
+  /// `prune_filter` enables zone-map block skipping (the table must have
+  /// zone maps built; otherwise the filter is ignored).
+  TableScanOp(const storage::TableStorage* table,
+              std::vector<std::string> columns = {},
+              ExprPtr prune_filter = nullptr);
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+  /// Blocks skipped by zone-map pruning during the last Open (0 when
+  /// pruning was off).
+  size_t blocks_skipped() const { return blocks_skipped_; }
+
+ private:
+  struct RowRange {
+    size_t begin;
+    size_t end;
+  };
+
+  const storage::TableStorage* table_;
+  std::vector<std::string> column_names_;
+  std::vector<int> column_indexes_;
+  ExprPtr prune_filter_;
+  catalog::Schema schema_;
+  std::vector<storage::ColumnData> decoded_;
+  std::vector<RowRange> ranges_;  // selected row ranges, ascending
+  size_t range_idx_ = 0;
+  size_t cursor_ = 0;
+  size_t batch_rows_ = kDefaultBatchRows;
+  size_t blocks_skipped_ = 0;
+  ExecContext* ctx_ = nullptr;
+  bool open_ = false;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_SCAN_H_

@@ -1,0 +1,138 @@
+#include "exec/sort_limit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ecodb::exec {
+
+using catalog::DataType;
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys,
+               uint64_t memory_budget_bytes,
+               storage::StorageDevice* spill_device)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      memory_budget_bytes_(memory_budget_bytes),
+      spill_device_(spill_device) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  const catalog::Schema& schema = child_->output_schema();
+
+  std::vector<int> key_idx;
+  for (const SortKey& k : keys_) {
+    const int idx = schema.FindColumn(k.column);
+    if (idx < 0) return Status::NotFound("sort column '" + k.column + "'");
+    key_idx.push_back(idx);
+  }
+
+  sorted_ = RecordBatch(schema);
+  bool eos = false;
+  uint64_t bytes = 0;
+  while (true) {
+    RecordBatch batch;
+    ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      sorted_.AppendRowFrom(batch, r);
+    }
+    bytes += batch.num_rows() * schema.RowWidthBytes();
+  }
+
+  // External spill accounting: classic 2-pass merge sort writes runs once
+  // and reads them back once.
+  if (bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
+    spilled_ = true;
+    ctx->ChargeWrite(spill_device_, bytes, /*sequential=*/true);
+    ctx->ChargeRead(spill_device_, bytes, /*sequential=*/true);
+  }
+  ctx->ChargeDram(std::min<uint64_t>(bytes, memory_budget_bytes_));
+
+  order_.resize(sorted_.num_rows());
+  std::iota(order_.begin(), order_.end(), size_t{0});
+  const size_t n = order_.size();
+  if (n > 1) {
+    ctx->ChargeInstructions(ctx->options().costs.sort_per_row_log_row *
+                            static_cast<double>(n) *
+                            std::log2(static_cast<double>(n)) *
+                            static_cast<double>(keys_.size()));
+  }
+  std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const ColumnData& lane = sorted_.column(key_idx[k]);
+      int cmp = 0;
+      switch (lane.type) {
+        case DataType::kInt64:
+        case DataType::kDate:
+          cmp = lane.i64[a] < lane.i64[b] ? -1
+                : lane.i64[a] > lane.i64[b] ? 1
+                                            : 0;
+          break;
+        case DataType::kDouble:
+          cmp = lane.f64[a] < lane.f64[b] ? -1
+                : lane.f64[a] > lane.f64[b] ? 1
+                                            : 0;
+          break;
+        case DataType::kString:
+          cmp = lane.str[a].compare(lane.str[b]);
+          cmp = cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
+          break;
+      }
+      if (cmp != 0) return keys_[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status SortOp::Next(RecordBatch* out, bool* eos) {
+  if (cursor_ >= order_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(ctx_->options().batch_rows, order_.size() - cursor_);
+  RecordBatch batch(child_->output_schema());
+  for (size_t i = 0; i < take; ++i) {
+    batch.AppendRowFrom(sorted_, order_[cursor_ + i]);
+  }
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void SortOp::Close() { child_->Close(); }
+
+LimitOp::LimitOp(OperatorPtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open(ExecContext* ctx) {
+  emitted_ = 0;
+  return child_->Open(ctx);
+}
+
+Status LimitOp::Next(RecordBatch* out, bool* eos) {
+  if (emitted_ >= limit_) {
+    *eos = true;
+    return Status::OK();
+  }
+  RecordBatch batch;
+  ECODB_RETURN_IF_ERROR(child_->Next(&batch, eos));
+  if (*eos) return Status::OK();
+  if (emitted_ + batch.num_rows() > limit_) {
+    std::vector<uint8_t> mask(batch.num_rows(), 0);
+    for (size_t r = 0; r < limit_ - emitted_; ++r) mask[r] = 1;
+    batch.FilterInPlace(mask);
+  }
+  emitted_ += batch.num_rows();
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void LimitOp::Close() { child_->Close(); }
+
+}  // namespace ecodb::exec

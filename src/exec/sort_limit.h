@@ -1,0 +1,70 @@
+// Sort (with external-spill cost modeling) and Limit operators.
+
+#ifndef ECODB_EXEC_SORT_LIMIT_H_
+#define ECODB_EXEC_SORT_LIMIT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/device.h"
+
+namespace ecodb::exec {
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Materializing sort. When the materialized input exceeds
+/// `memory_budget_bytes` and a spill device is configured, the operator
+/// charges the two-pass external-sort I/O (write runs + read back) — the
+/// energy face of the classic memory/IO tradeoff.
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys,
+         uint64_t memory_budget_bytes = UINT64_MAX,
+         storage::StorageDevice* spill_device = nullptr);
+
+  const catalog::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+  bool spilled() const { return spilled_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  uint64_t memory_budget_bytes_;
+  storage::StorageDevice* spill_device_;
+  RecordBatch sorted_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+  bool spilled_ = false;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Passes at most `limit` rows through.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OperatorPtr child, size_t limit);
+
+  const catalog::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_SORT_LIMIT_H_

@@ -1,0 +1,87 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+
+namespace ecodb::optimizer {
+
+void ResourceEstimate::Merge(const ResourceEstimate& other) {
+  cpu_instructions += other.cpu_instructions;
+  for (const auto& [dev, bytes] : other.device_bytes) {
+    device_bytes[dev] += bytes;
+  }
+  for (const auto& [dev, pages] : other.random_page_reads) {
+    random_page_reads[dev] += pages;
+  }
+  dram_traffic_bytes += other.dram_traffic_bytes;
+  resident_byte_seconds += other.resident_byte_seconds;
+}
+
+CostModel::CostModel(power::HardwarePlatform* platform,
+                     CostModelParams params)
+    : platform_(platform), params_(params) {}
+
+ResourceEstimate CostModel::ScanDemand(
+    const storage::TableStorage& table,
+    const std::vector<int>& column_indexes) const {
+  ResourceEstimate demand;
+  const uint64_t bytes = table.ScanBytes(column_indexes);
+  if (bytes > 0 && table.device() != nullptr) {
+    demand.device_bytes[table.device()] += bytes;
+  }
+  demand.cpu_instructions =
+      table.DecodeInstructions(column_indexes) * params_.costs.decode_scale;
+  return demand;
+}
+
+PlanCost CostModel::Price(const ResourceEstimate& demand, int dop,
+                          int pstate) const {
+  const power::CpuPowerModel& cpu = platform_->cpu();
+  const int cores = std::min(dop, cpu.total_cores());
+
+  // Time: CPU elapsed vs the slowest device stream (they overlap).
+  const double cpu_core_seconds =
+      cpu.SecondsForInstructions(demand.cpu_instructions, pstate);
+  const double cpu_elapsed = cpu_core_seconds / static_cast<double>(cores);
+  double io_elapsed = 0.0;
+  double io_joules = 0.0;
+  std::map<const storage::StorageDevice*, double> per_device_seconds;
+  for (const auto& [dev, bytes] : demand.device_bytes) {
+    per_device_seconds[dev] += dev->EstimateReadSeconds(bytes);
+    io_joules += dev->EstimateReadJoules(bytes);
+  }
+  constexpr uint64_t kPageBytes = 8192;
+  for (const auto& [dev, pages] : demand.random_page_reads) {
+    // Each random page pays the device's full positioning + transfer cost.
+    per_device_seconds[dev] +=
+        static_cast<double>(pages) * dev->EstimateReadSeconds(kPageBytes);
+    io_joules +=
+        static_cast<double>(pages) * dev->EstimateReadJoules(kPageBytes);
+  }
+  for (const auto& [dev, seconds] : per_device_seconds) {
+    io_elapsed = std::max(io_elapsed, seconds);
+  }
+  PlanCost cost;
+  cost.seconds = std::max(cpu_elapsed, io_elapsed);
+
+  // Energy: marginal active components.
+  const double cpu_joules =
+      cpu.spec().pstates[pstate].core_active_watts * cpu_core_seconds;
+  const double dram_traffic_joules =
+      platform_->dram().access_joules_per_byte *
+      static_cast<double>(demand.dram_traffic_bytes);
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+  const double rate = params_.dram_watts_per_gib_override >= 0
+                          ? params_.dram_watts_per_gib_override
+                          : platform_->dram().background_watts_per_gib;
+  const double residency_joules = params_.memory_power_premium * rate *
+                                  (demand.resident_byte_seconds / gib);
+  cost.joules =
+      cpu_joules + io_joules + dram_traffic_joules + residency_joules;
+
+  if (params_.include_background_power) {
+    cost.joules += platform_->meter()->TotalWatts() * cost.seconds;
+  }
+  return cost;
+}
+
+}  // namespace ecodb::optimizer

@@ -1,0 +1,108 @@
+// Two-objective cost model: every plan is priced in seconds AND Joules.
+//
+// Section 4.1 of the paper: "To improve energy efficiency, query optimizers
+// will need power models to estimate energy costs. There has been a lot of
+// work on modeling power, but simple models may suffice in the same way
+// simple models for device access times work well in practice." This model
+// is exactly that kind of simple model:
+//
+//   time   = max(cpu_work / (cores x ips), per-device I/O service time)
+//   energy = cpu_active + device_active + dram_traffic
+//            + memory_residency (W/GiB x resident-byte-seconds)
+//            + platform_background x time
+//
+// The memory-residency term is what makes hash join "expensive ... from a
+// power perspective" relative to nested-loop join, per the paper. Its
+// coefficient is a knob the A1 ablation sweeps.
+
+#ifndef ECODB_OPTIMIZER_COST_MODEL_H_
+#define ECODB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "exec/exec_context.h"
+#include "power/platform.h"
+#include "storage/device.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::optimizer {
+
+/// The optimizer's objective: minimize seconds + lambda * joules.
+/// lambda = 0 reproduces a classical performance-only optimizer;
+/// lambda -> infinity minimizes pure energy. Units: seconds per Joule.
+struct Objective {
+  double lambda = 0.0;
+
+  static Objective Performance() { return {0.0}; }
+  static Objective Energy() { return {1e9}; }
+  static Objective Balanced(double lambda) { return {lambda}; }
+};
+
+struct PlanCost {
+  double seconds = 0.0;
+  double joules = 0.0;
+
+  double Scalarize(const Objective& obj) const {
+    return seconds + obj.lambda * joules;
+  }
+};
+
+/// Raw resource demands of a (sub)plan, accumulated by the planner and
+/// converted to PlanCost at the end (so overlap across phases is priced the
+/// same way the executor measures it).
+struct ResourceEstimate {
+  double cpu_instructions = 0.0;
+  /// I/O demand per device (keyed by device pointer; stable during a plan).
+  std::map<const storage::StorageDevice*, uint64_t> device_bytes;
+  /// Random page reads per device (index descents, heap fetches); each
+  /// pays the device's per-request positioning cost.
+  std::map<const storage::StorageDevice*, uint64_t> random_page_reads;
+  uint64_t dram_traffic_bytes = 0;
+  /// Bytes held resident multiplied by the seconds they are held (set by
+  /// memory-hungry operators; priced at the DRAM W/GiB rate).
+  double resident_byte_seconds = 0.0;
+
+  void Merge(const ResourceEstimate& other);
+};
+
+struct CostModelParams {
+  exec::CostConstants costs;
+  /// Multiplier on the DRAM residency price (1.0 = the platform's real
+  /// W/GiB). The A1 ablation sweeps this to move the hash/NLJ crossover.
+  double memory_power_premium = 1.0;
+  /// DRAM residency rate in W/GiB before the premium; < 0 uses the
+  /// platform's DRAM background rate. Lets planners price memory as if it
+  /// were energy-proportional (the paper's Section 4.3 assumption) even on
+  /// platforms whose DRAM model excludes background power.
+  double dram_watts_per_gib_override = -1.0;
+  /// Include the platform's standing (idle background) power in energy
+  /// estimates. True matches what a wall meter sees.
+  bool include_background_power = true;
+};
+
+class CostModel {
+ public:
+  /// `platform` must outlive the model.
+  CostModel(power::HardwarePlatform* platform, CostModelParams params);
+
+  const CostModelParams& params() const { return params_; }
+  power::HardwarePlatform* platform() const { return platform_; }
+
+  /// Demand of scanning `columns` of `table` (I/O bytes + decode CPU).
+  ResourceEstimate ScanDemand(const storage::TableStorage& table,
+                              const std::vector<int>& column_indexes) const;
+
+  /// Converts accumulated demand into (seconds, Joules) at the given
+  /// execution knobs, mirroring ExecContext's critical-path rule.
+  PlanCost Price(const ResourceEstimate& demand, int dop, int pstate) const;
+
+ private:
+  power::HardwarePlatform* platform_;
+  CostModelParams params_;
+};
+
+}  // namespace ecodb::optimizer
+
+#endif  // ECODB_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,141 @@
+// Energy-aware physical planner.
+//
+// Given a logical query (scan [+ filter] [+ join] [+ aggregate]) and the
+// physical alternatives available — table variants with different layouts /
+// compression / devices, three join algorithms, DVFS states, degrees of
+// parallelism — the planner enumerates the combinations, prices each with
+// the two-objective CostModel, and returns the plan minimizing
+// `seconds + lambda * joules`.
+//
+// With lambda = 0 this is a classical performance optimizer. Raising lambda
+// reproduces the paper's headline behaviours: compressed scans lose to
+// uncompressed ones when CPU power dwarfs storage power (Figure 2), and
+// memory-hungry hash joins lose to nested-loop joins when DRAM residency is
+// priced (Section 4.1).
+
+#ifndef ECODB_OPTIMIZER_PLANNER_H_
+#define ECODB_OPTIMIZER_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/aggregate.h"
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "optimizer/cost_model.h"
+#include "storage/btree.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::optimizer {
+
+/// One logical table with its physical alternatives (same rows, different
+/// physical design: layout, compression, device placement).
+struct TableAlternatives {
+  std::string name;
+  std::vector<const storage::TableStorage*> variants;  // >= 1
+  /// Columns the query needs from this table (empty = all).
+  std::vector<std::string> columns;
+  /// Optional pushed-down filter over this table's columns.
+  exec::ExprPtr filter;
+  /// Optional secondary index: enables the index-scan access path when the
+  /// filter constrains `index_column` to a range. The index must map
+  /// `index_column` values to row positions of every variant (variants hold
+  /// the same rows in the same order).
+  const storage::BTreeIndex* index = nullptr;
+  std::string index_column;
+};
+
+enum class AccessPath { kTableScan, kIndexScan };
+
+const char* AccessPathName(AccessPath path);
+
+/// Logical query: left [JOIN right ON lk = rk] [WHERE ...] [GROUP BY ...].
+struct QuerySpec {
+  TableAlternatives left;
+  std::optional<TableAlternatives> right;
+  std::string left_key;   // join keys; used when right is present
+  std::string right_key;
+  std::vector<std::string> group_by;
+  std::vector<exec::AggregateItem> aggregates;
+};
+
+enum class JoinAlgorithm { kHash, kHashSwapped, kMerge, kNestedLoop };
+
+const char* JoinAlgorithmName(JoinAlgorithm algo);
+
+/// A fully specified physical plan plus its estimated cost.
+struct PhysicalPlan {
+  int left_variant = 0;
+  int right_variant = 0;
+  AccessPath left_path = AccessPath::kTableScan;
+  AccessPath right_path = AccessPath::kTableScan;
+  JoinAlgorithm join_algo = JoinAlgorithm::kHash;
+  int dop = 1;
+  int pstate = 0;
+  PlanCost cost;
+  /// Estimated output cardinality.
+  double output_rows = 0.0;
+
+  std::string Describe(const QuerySpec& spec) const;
+};
+
+/// Planner knobs: which dimensions to enumerate.
+struct PlannerOptions {
+  std::vector<int> dops = {1};
+  bool enumerate_pstates = false;
+  bool enumerate_join_algorithms = true;
+};
+
+class Planner {
+ public:
+  /// `model` must outlive the planner.
+  Planner(CostModel* model, PlannerOptions options = {});
+
+  /// Returns the best plan under `objective`, or an error if the spec is
+  /// malformed (no variants, missing join keys, ...).
+  StatusOr<PhysicalPlan> ChoosePlan(const QuerySpec& spec,
+                                    const Objective& objective) const;
+
+  /// Prices one fully specified plan (exposed for ablation sweeps).
+  StatusOr<PlanCost> PricePlan(const QuerySpec& spec,
+                               const PhysicalPlan& plan) const;
+
+  /// Constructs the executable operator tree realizing `plan`.
+  StatusOr<exec::OperatorPtr> BuildOperator(const QuerySpec& spec,
+                                            const PhysicalPlan& plan) const;
+
+  /// Estimated selectivity of `filter` against a table's stats (exposed
+  /// for tests). Bind() need not have been called.
+  static double EstimateSelectivity(const exec::ExprPtr& filter,
+                                    const catalog::Schema& schema,
+                                    const catalog::TableStats& stats);
+
+  /// Extracts the [lo, hi] key range the AND-conjuncts of `filter` impose
+  /// on `column` (integer/date types). Returns false when unconstrained.
+  static bool ExtractKeyRange(const exec::ExprPtr& filter,
+                              const std::string& column, int64_t* lo,
+                              int64_t* hi);
+
+ private:
+  struct Cardinalities {
+    double left_rows = 0.0;
+    double right_rows = 0.0;
+    double join_rows = 0.0;
+    double output_rows = 0.0;
+  };
+
+  StatusOr<Cardinalities> EstimateCardinalities(const QuerySpec& spec) const;
+
+  StatusOr<PlanCost> PriceInternal(const QuerySpec& spec,
+                                   const PhysicalPlan& plan,
+                                   const Cardinalities& cards) const;
+
+  CostModel* model_;
+  PlannerOptions options_;
+};
+
+}  // namespace ecodb::optimizer
+
+#endif  // ECODB_OPTIMIZER_PLANNER_H_

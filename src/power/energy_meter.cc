@@ -1,0 +1,103 @@
+#include "power/energy_meter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::power {
+
+double MeterSnapshot::TotalJoules() const {
+  double total = 0.0;
+  for (double j : joules) total += j;
+  return total;
+}
+
+ChannelId EnergyMeter::RegisterChannel(std::string name,
+                                       double initial_watts) {
+  Channel ch;
+  ch.name = std::move(name);
+  ch.watts = initial_watts;
+  ch.last_t = clock_->now();
+  channels_.push_back(std::move(ch));
+  return ChannelId{static_cast<uint32_t>(channels_.size() - 1)};
+}
+
+void EnergyMeter::SetPowerAt(ChannelId id, double t, double watts) {
+  assert(id.valid() && id.index < channels_.size());
+  assert(watts >= 0.0);
+  Channel& ch = channels_[id.index];
+  assert(t >= ch.last_t && "channel timelines must be monotonic");
+  ch.joules += ch.watts * (t - ch.last_t);
+  ch.last_t = t;
+  ch.watts = watts;
+}
+
+void EnergyMeter::AddEnergyAt(ChannelId id, double t, double joules,
+                              double busy_seconds) {
+  assert(id.valid() && id.index < channels_.size());
+  assert(joules >= 0.0 && busy_seconds >= 0.0);
+  Channel& ch = channels_[id.index];
+  assert(t >= ch.last_t && "channel timelines must be monotonic");
+  // Bring the background integral forward, then add the pulse.
+  ch.joules += ch.watts * (t - ch.last_t);
+  ch.last_t = t;
+  ch.joules += joules;
+  ch.busy_seconds += busy_seconds;
+}
+
+double EnergyMeter::EffectiveTime(ChannelId id) const {
+  return std::max(channels_[id.index].last_t, clock_->now());
+}
+
+double EnergyMeter::ChannelJoulesAt(ChannelId id, double t) const {
+  assert(id.valid() && id.index < channels_.size());
+  const Channel& ch = channels_[id.index];
+  assert(t >= ch.last_t);
+  return ch.joules + ch.watts * (t - ch.last_t);
+}
+
+double EnergyMeter::TotalJoules() const {
+  double total = 0.0;
+  for (uint32_t i = 0; i < channels_.size(); ++i) {
+    total += ChannelJoulesAt(ChannelId{i}, EffectiveTime(ChannelId{i}));
+  }
+  return total;
+}
+
+double EnergyMeter::TotalWatts() const {
+  double watts = 0.0;
+  for (const Channel& ch : channels_) watts += ch.watts;
+  return watts;
+}
+
+MeterSnapshot EnergyMeter::Snapshot() const {
+  MeterSnapshot snap;
+  snap.time = clock_->now();
+  snap.joules.reserve(channels_.size());
+  snap.busy_seconds.reserve(channels_.size());
+  for (uint32_t i = 0; i < channels_.size(); ++i) {
+    ChannelId id{i};
+    snap.joules.push_back(ChannelJoulesAt(id, EffectiveTime(id)));
+    snap.busy_seconds.push_back(channels_[i].busy_seconds);
+  }
+  return snap;
+}
+
+MeterSnapshot EnergyMeter::Delta(const MeterSnapshot& a,
+                                 const MeterSnapshot& b) {
+  MeterSnapshot d;
+  d.time = b.time - a.time;
+  const size_t n = std::max(a.joules.size(), b.joules.size());
+  d.joules.resize(n, 0.0);
+  d.busy_seconds.resize(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double ja = i < a.joules.size() ? a.joules[i] : 0.0;
+    const double jb = i < b.joules.size() ? b.joules[i] : 0.0;
+    d.joules[i] = jb - ja;
+    const double ba = i < a.busy_seconds.size() ? a.busy_seconds[i] : 0.0;
+    const double bb = i < b.busy_seconds.size() ? b.busy_seconds[i] : 0.0;
+    d.busy_seconds[i] = bb - ba;
+  }
+  return d;
+}
+
+}  // namespace ecodb::power

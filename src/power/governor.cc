@@ -1,0 +1,53 @@
+#include "power/governor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::power {
+
+DvfsGovernor::DvfsGovernor(const CpuPowerModel* cpu, GovernorConfig config)
+    : cpu_(cpu), config_(config), pstate_(config.initial_pstate) {
+  assert(pstate_ >= 0 && pstate_ < cpu_->num_pstates());
+}
+
+int DvfsGovernor::Observe(double utilization) {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  if (pinned_) return pinned_pstate_;
+
+  if (utilization > config_.up_threshold) {
+    // Ondemand jumps straight to the fastest state under pressure.
+    low_streak_ = 0;
+    if (pstate_ != 0) {
+      pstate_ = 0;
+      ++transitions_;
+    }
+  } else if (utilization < config_.down_threshold) {
+    ++low_streak_;
+    if (low_streak_ >= config_.down_hysteresis_samples &&
+        pstate_ + 1 < cpu_->num_pstates()) {
+      ++pstate_;
+      ++transitions_;
+      low_streak_ = 0;
+    }
+  } else {
+    low_streak_ = 0;
+  }
+  return pstate_;
+}
+
+void DvfsGovernor::Pin(int pstate) {
+  assert(pstate >= 0 && pstate < cpu_->num_pstates());
+  if (!pinned_ || pinned_pstate_ != pstate) ++transitions_;
+  pinned_ = true;
+  pinned_pstate_ = pstate;
+}
+
+void DvfsGovernor::Unpin() {
+  if (pinned_) {
+    pinned_ = false;
+    pstate_ = pinned_pstate_;
+    low_streak_ = 0;
+  }
+}
+
+}  // namespace ecodb::power

@@ -1,0 +1,57 @@
+#include "power/proportionality.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecodb::power {
+
+PowerCurve PowerCurve::Sample(const std::function<double(double)>& fn,
+                              int n) {
+  assert(n >= 1);
+  PowerCurve curve;
+  curve.utilization.reserve(n + 1);
+  curve.watts.reserve(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    const double u = static_cast<double>(i) / n;
+    curve.utilization.push_back(u);
+    curve.watts.push_back(fn(u));
+  }
+  return curve;
+}
+
+ProportionalityReport AnalyzeCurve(const PowerCurve& curve) {
+  assert(curve.utilization.size() == curve.watts.size());
+  assert(curve.utilization.size() >= 2);
+  ProportionalityReport report;
+  report.idle_watts = curve.watts.front();
+  report.peak_watts = curve.watts.back();
+  const double peak = report.peak_watts;
+  assert(peak > 0);
+  report.dynamic_range = (peak - report.idle_watts) / peak;
+
+  // Area between P(u)/peak and the ideal line y = u, trapezoidal.
+  double deviation_area = 0.0;
+  for (size_t i = 1; i < curve.utilization.size(); ++i) {
+    const double u0 = curve.utilization[i - 1];
+    const double u1 = curve.utilization[i];
+    const double d0 = curve.watts[i - 1] / peak - u0;
+    const double d1 = curve.watts[i] / peak - u1;
+    deviation_area += 0.5 * (std::abs(d0) + std::abs(d1)) * (u1 - u0);
+  }
+  // Flat-at-peak power has deviation area 1/2; normalize against it.
+  report.proportionality_index =
+      std::clamp(1.0 - deviation_area / 0.5, 0.0, 1.0);
+
+  // Relative EE: EE(u)/EE(1) = (u * peak_perf / P(u)) / (peak_perf / peak)
+  //            = u * peak / P(u).
+  report.relative_ee.reserve(curve.utilization.size());
+  for (size_t i = 0; i < curve.utilization.size(); ++i) {
+    const double u = curve.utilization[i];
+    const double p = curve.watts[i];
+    report.relative_ee.push_back(p > 0 ? u * peak / p : 0.0);
+  }
+  return report;
+}
+
+}  // namespace ecodb::power

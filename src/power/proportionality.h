@@ -1,0 +1,47 @@
+// Energy-proportionality metrics.
+//
+// Section 2.4 of the paper builds on Barroso & Hoelzle's observation [BH07]
+// that servers are busiest at 10-50% utilization yet draw near-peak power
+// there, and argues for energy-proportional systems whose power tracks
+// utilization. These metrics quantify how close a power curve comes to that
+// ideal, and produce the EE-vs-utilization profile the ablation bench plots.
+
+#ifndef ECODB_POWER_PROPORTIONALITY_H_
+#define ECODB_POWER_PROPORTIONALITY_H_
+
+#include <functional>
+#include <vector>
+
+namespace ecodb::power {
+
+/// A sampled power curve: power_watts[i] is the draw at utilization u[i].
+struct PowerCurve {
+  std::vector<double> utilization;  // ascending, in [0, 1]
+  std::vector<double> watts;        // same length
+
+  /// Samples `fn` at n+1 evenly spaced utilizations in [0, 1].
+  static PowerCurve Sample(const std::function<double(double)>& fn, int n);
+};
+
+/// Summary metrics for one curve.
+struct ProportionalityReport {
+  double idle_watts = 0.0;
+  double peak_watts = 0.0;
+  /// (peak - idle) / peak: 1.0 for an ideally proportional machine, ~0 for
+  /// the inelastic servers the paper describes ("little power variance from
+  /// no load to peak use").
+  double dynamic_range = 0.0;
+  /// 1 - (area between normalized curve and the ideal y=u line) / (1/2).
+  /// 1.0 = ideal proportionality; 0.0 = flat power at peak level.
+  double proportionality_index = 0.0;
+  /// EE at utilization u relative to EE at peak: EE(u)/EE(1) where
+  /// EE(u) = u * peak_perf / P(u). Sampled at the curve's utilizations.
+  std::vector<double> relative_ee;
+};
+
+/// Computes the report via trapezoidal integration of the curve.
+ProportionalityReport AnalyzeCurve(const PowerCurve& curve);
+
+}  // namespace ecodb::power
+
+#endif  // ECODB_POWER_PROPORTIONALITY_H_

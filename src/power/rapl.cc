@@ -1,0 +1,49 @@
+#include "power/rapl.h"
+
+#include <cmath>
+
+namespace ecodb::power {
+
+const char* RaplDomainName(RaplDomain domain) {
+  switch (domain) {
+    case RaplDomain::kPackage:
+      return "package-0";
+    case RaplDomain::kDram:
+      return "dram";
+    case RaplDomain::kPsys:
+      return "psys";
+  }
+  return "unknown";
+}
+
+Rapl::Rapl(const EnergyMeter* meter, std::vector<ChannelId> package_channels,
+           std::vector<ChannelId> dram_channels)
+    : meter_(meter),
+      package_channels_(std::move(package_channels)),
+      dram_channels_(std::move(dram_channels)) {}
+
+uint64_t Rapl::EnergyUjUnwrapped(RaplDomain domain) const {
+  double joules = 0.0;
+  switch (domain) {
+    case RaplDomain::kPackage:
+      for (ChannelId id : package_channels_) {
+        joules += meter_->ChannelJoules(id);
+      }
+      break;
+    case RaplDomain::kDram:
+      for (ChannelId id : dram_channels_) {
+        joules += meter_->ChannelJoules(id);
+      }
+      break;
+    case RaplDomain::kPsys:
+      joules = meter_->TotalJoules();
+      break;
+  }
+  return static_cast<uint64_t>(std::llround(joules * 1e6));
+}
+
+uint64_t Rapl::EnergyUj(RaplDomain domain) const {
+  return EnergyUjUnwrapped(domain) % kCounterWrap;
+}
+
+}  // namespace ecodb::power

@@ -1,0 +1,65 @@
+// Simulated RAPL (Running Average Power Limit) counter interface.
+//
+// Real deployments of energy-aware database software read energy from the
+// CPU's RAPL MSRs (or /sys/class/powercap). EcoDB cannot assume that
+// hardware, so it exposes the same *interface* — monotonically increasing
+// energy counters in microjoules with fixed-width wraparound — backed by the
+// simulation's EnergyMeter. Code written against `Rapl` ports directly to
+// the real powercap files.
+
+#ifndef ECODB_POWER_RAPL_H_
+#define ECODB_POWER_RAPL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.h"
+
+namespace ecodb::power {
+
+/// RAPL-style energy domains.
+enum class RaplDomain {
+  kPackage,  // CPU socket(s)
+  kDram,
+  kPsys,     // whole platform
+};
+
+const char* RaplDomainName(RaplDomain domain);
+
+/// Simulated powercap-style counters over an EnergyMeter.
+class Rapl {
+ public:
+  /// `meter` must outlive this object. Channels are grouped into domains;
+  /// kPsys always reports the sum over all channels.
+  Rapl(const EnergyMeter* meter, std::vector<ChannelId> package_channels,
+       std::vector<ChannelId> dram_channels);
+
+  /// Counter width in bits (real RAPL counters are 32-bit microjoules).
+  static constexpr int kCounterBits = 32;
+  static constexpr uint64_t kCounterWrap = 1ULL << kCounterBits;
+
+  /// Current counter value for `domain` in microjoules, wrapped to 32 bits
+  /// exactly like the hardware MSR.
+  uint64_t EnergyUj(RaplDomain domain) const;
+
+  /// Unwrapped cumulative microjoules (what a careful reader reconstructs
+  /// by polling faster than the wrap period).
+  uint64_t EnergyUjUnwrapped(RaplDomain domain) const;
+
+  /// Difference handling wraparound: new_reading - old_reading modulo 2^32.
+  /// Assumes at most one wrap between readings.
+  static uint64_t CounterDelta(uint64_t old_uj, uint64_t new_uj) {
+    return (new_uj >= old_uj) ? new_uj - old_uj
+                              : new_uj + kCounterWrap - old_uj;
+  }
+
+ private:
+  const EnergyMeter* meter_;
+  std::vector<ChannelId> package_channels_;
+  std::vector<ChannelId> dram_channels_;
+};
+
+}  // namespace ecodb::power
+
+#endif  // ECODB_POWER_RAPL_H_

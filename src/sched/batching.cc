@@ -1,0 +1,40 @@
+#include "sched/batching.h"
+
+namespace ecodb::sched {
+
+BatchingScheduler::BatchingScheduler(sim::EventQueue* events,
+                                     BatchingConfig config)
+    : events_(events), config_(config) {}
+
+void BatchingScheduler::Submit(Work work) {
+  queue_.push_back(Pending{events_->clock()->now(), std::move(work)});
+  if (config_.window_s <= 0.0 || queue_.size() >= config_.max_batch) {
+    if (window_timer_ != 0) {
+      events_->Cancel(window_timer_);
+      window_timer_ = 0;
+    }
+    Dispatch();
+    return;
+  }
+  if (window_timer_ == 0) {
+    window_timer_ = events_->ScheduleAfter(config_.window_s, [this] {
+      window_timer_ = 0;
+      Dispatch();
+    });
+  }
+}
+
+void BatchingScheduler::Dispatch() {
+  if (queue_.empty()) return;
+  ++batches_;
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    const double done = p.work();
+    events_->clock()->AdvanceTo(done);
+    latency_.Add(done - p.arrival);
+    ++completed_;
+  }
+}
+
+}  // namespace ecodb::sched

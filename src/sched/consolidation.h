@@ -1,0 +1,50 @@
+// Space consolidation: migrate data off under-used devices and power them
+// down.
+//
+// Section 4.2: "we could imagine buffer and storage management policies that
+// move data across memory and disks to consolidate space-shared resources
+// ... the energy savings from consolidation should exceed the energy
+// overhead of such movements." Evaluate() prices exactly that inequality;
+// Migrate() actually performs the move (device reads + writes, table
+// rebind) so its cost shows up on the meter.
+
+#ifndef ECODB_SCHED_CONSOLIDATION_H_
+#define ECODB_SCHED_CONSOLIDATION_H_
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "storage/device.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::sched {
+
+struct MigrationDecision {
+  bool migrate = false;
+  /// Energy to move the data (read source + write target).
+  double migration_joules = 0.0;
+  /// Energy saved over the horizon by powering the source down.
+  double savings_joules = 0.0;
+  /// Horizon (seconds of source idleness) at which migration breaks even.
+  double break_even_horizon_s = 0.0;
+};
+
+class ConsolidationManager {
+ public:
+  /// Should `bytes` be moved off `source` so it can power down for
+  /// `idle_horizon_s` seconds? Prices both sides of Section 4.2's rule.
+  static MigrationDecision Evaluate(const storage::StorageDevice& source,
+                                    const storage::StorageDevice& target,
+                                    uint64_t bytes, double idle_horizon_s);
+
+  /// Moves `table` to `target`: streams its footprint off the old device,
+  /// writes it to the new one, rebinds the table, and powers the source
+  /// down. Returns the completion time.
+  static double Migrate(storage::TableStorage* table,
+                        storage::StorageDevice* target,
+                        sim::SimClock* clock);
+};
+
+}  // namespace ecodb::sched
+
+#endif  // ECODB_SCHED_CONSOLIDATION_H_

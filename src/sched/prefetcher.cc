@@ -1,0 +1,39 @@
+#include "sched/prefetcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::sched {
+
+BurstyPrefetcher::BurstyPrefetcher(sim::SimClock* clock,
+                                   storage::StorageDevice* device,
+                                   uint64_t page_bytes, int burst_pages)
+    : clock_(clock),
+      device_(device),
+      page_bytes_(page_bytes),
+      burst_pages_(burst_pages) {
+  assert(burst_pages_ >= 1);
+}
+
+double BurstyPrefetcher::NextPage() {
+  ++stats_.pages_served;
+  if (buffered_ > 0) {
+    --buffered_;
+    return clock_->now();
+  }
+  // Buffer empty: fetch the next burst in one sequential device visit.
+  const double now = clock_->now();
+  if (last_burst_end_ >= 0.0) {
+    stats_.longest_idle_gap_s =
+        std::max(stats_.longest_idle_gap_s, now - last_burst_end_);
+  }
+  const storage::IoResult io = device_->SubmitRead(
+      now, page_bytes_ * static_cast<uint64_t>(burst_pages_),
+      /*sequential=*/true);
+  last_burst_end_ = io.completion_time;
+  ++stats_.device_bursts;
+  buffered_ = burst_pages_ - 1;
+  return io.completion_time;
+}
+
+}  // namespace ecodb::sched

@@ -1,0 +1,60 @@
+#include "sched/shared_scan.h"
+
+#include <algorithm>
+
+namespace ecodb::sched {
+
+SharedScanManager::SharedScanManager(sim::SimClock* clock,
+                                     double share_window_s)
+    : clock_(clock), share_window_s_(share_window_s) {}
+
+ScanTicket SharedScanManager::RequestScan(const storage::TableStorage& table,
+                                          std::vector<int> column_indexes) {
+  ++stats_.scans_requested;
+  if (column_indexes.empty()) {
+    for (int i = 0; i < table.schema().num_columns(); ++i) {
+      column_indexes.push_back(i);
+    }
+  }
+  const std::set<int> needed(column_indexes.begin(), column_indexes.end());
+  const double now = clock_->now();
+
+  auto it = last_transfer_.find(&table);
+  if (it != last_transfer_.end()) {
+    const Transfer& t = it->second;
+    const bool fresh = now - t.start_time <= share_window_s_;
+    const bool covers = std::includes(t.columns.begin(), t.columns.end(),
+                                      needed.begin(), needed.end());
+    if (fresh && covers) {
+      stats_.bytes_saved += table.ScanBytes(column_indexes);
+      ScanTicket ticket;
+      ticket.ready_time = std::max(now, t.completion_time);
+      ticket.shared = true;
+      return ticket;
+    }
+  }
+
+  // New transfer: read the union of this request's columns.
+  const uint64_t bytes = table.ScanBytes(column_indexes);
+  Transfer t;
+  t.start_time = now;
+  t.columns = needed;
+  t.bytes = bytes;
+  double completion = now;
+  if (table.device() != nullptr && bytes > 0) {
+    completion =
+        table.device()->SubmitRead(now, bytes, /*sequential=*/true)
+            .completion_time;
+  }
+  t.completion_time = completion;
+  last_transfer_[&table] = std::move(t);
+  ++stats_.device_transfers;
+  stats_.bytes_transferred += bytes;
+
+  ScanTicket ticket;
+  ticket.ready_time = completion;
+  ticket.shared = false;
+  return ticket;
+}
+
+}  // namespace ecodb::sched

@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::sim {
+
+uint64_t EventQueue::ScheduleAt(double t, Callback cb) {
+  assert(t >= clock_->now());
+  const uint64_t id = next_seq_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(uint64_t id) {
+  if (id == 0 || id >= next_seq_ || IsCancelled(id)) return false;
+  cancelled_.push_back(id);
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::IsCancelled(uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+size_t EventQueue::RunUntil(double t_end) {
+  size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (IsCancelled(ev.seq)) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
+          cancelled_.end());
+      continue;
+    }
+    --live_count_;
+    clock_->AdvanceTo(ev.time);
+    ev.cb();
+    ++executed;
+  }
+  return executed;
+}
+
+size_t EventQueue::RunAll() {
+  size_t executed = 0;
+  while (!heap_.empty()) {
+    executed += RunUntil(heap_.top().time);
+  }
+  return executed;
+}
+
+}  // namespace ecodb::sim

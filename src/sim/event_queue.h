@@ -1,0 +1,79 @@
+// Discrete-event simulation queue.
+//
+// Drives the consolidation scheduler experiments: events (query arrivals,
+// batch-window expirations, disk spin-down timers) are executed in timestamp
+// order, advancing the shared SimClock to each event's time.
+
+#ifndef ECODB_SIM_EVENT_QUEUE_H_
+#define ECODB_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace ecodb::sim {
+
+/// Priority queue of timestamped callbacks. Ties break by insertion order so
+/// runs are deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `clock` must outlive the queue.
+  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` at absolute simulated time `t` (>= now). Returns an id
+  /// that can be passed to Cancel().
+  uint64_t ScheduleAt(double t, Callback cb);
+
+  /// Schedules `cb` after `dt` seconds from now.
+  uint64_t ScheduleAfter(double dt, Callback cb) {
+    return ScheduleAt(clock_->now() + dt, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or is unknown.
+  bool Cancel(uint64_t id);
+
+  /// Runs events until the queue is empty or `t_end` is passed. The clock is
+  /// advanced to each event's timestamp before its callback runs. Returns the
+  /// number of events executed.
+  size_t RunUntil(double t_end);
+
+  /// Runs until the queue drains entirely.
+  size_t RunAll();
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+  SimClock* clock() const { return clock_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock* clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<uint64_t> cancelled_;  // sorted insertion not needed; small
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+
+  bool IsCancelled(uint64_t id) const;
+};
+
+}  // namespace ecodb::sim
+
+#endif  // ECODB_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,404 @@
+#include "storage/compression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+namespace ecodb::storage {
+
+const char* CompressionKindName(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kRle:
+      return "rle";
+    case CompressionKind::kDelta:
+      return "delta";
+    case CompressionKind::kBitpack:
+      return "bitpack";
+    case CompressionKind::kFor:
+      return "for";
+    case CompressionKind::kDictionary:
+      return "dictionary";
+  }
+  return "unknown";
+}
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const std::vector<uint8_t>& buf, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < buf.size() && shift <= 63) {
+    const uint8_t byte = buf[*pos];
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+int BitsNeeded(uint64_t v) {
+  int bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+void BitpackValues(const std::vector<uint64_t>& values, int bits,
+                   std::vector<uint8_t>* out) {
+  assert(bits >= 0 && bits <= 64);
+  const size_t start = out->size();
+  const size_t total_bits = values.size() * static_cast<size_t>(bits);
+  out->resize(start + (total_bits + 7) / 8, 0);
+  size_t bitpos = 0;
+  for (uint64_t v : values) {
+    for (int b = 0; b < bits; ++b) {
+      if ((v >> b) & 1) {
+        (*out)[start + bitpos / 8] |= static_cast<uint8_t>(1u << (bitpos % 8));
+      }
+      ++bitpos;
+    }
+  }
+}
+
+Status BitunpackValues(const std::vector<uint8_t>& buf, size_t offset,
+                       int bits, size_t count,
+                       std::vector<uint64_t>* values) {
+  const size_t total_bits = count * static_cast<size_t>(bits);
+  if (offset + (total_bits + 7) / 8 > buf.size()) {
+    return Status::DataLoss("bitpacked buffer truncated");
+  }
+  values->clear();
+  values->reserve(count);
+  size_t bitpos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < bits; ++b) {
+      if ((buf[offset + bitpos / 8] >> (bitpos % 8)) & 1) {
+        v |= 1ULL << b;
+      }
+      ++bitpos;
+    }
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Each encoded buffer begins with [kind:1][count:varint] so decoders can
+// sanity-check they were handed the right stream.
+void PutHeader(CompressionKind kind, size_t count, std::vector<uint8_t>* out) {
+  out->clear();
+  out->push_back(static_cast<uint8_t>(kind));
+  PutVarint(count, out);
+}
+
+Status GetHeader(const std::vector<uint8_t>& buf, CompressionKind expect,
+                 size_t* pos, size_t* count) {
+  *pos = 0;
+  if (buf.empty()) return Status::DataLoss("empty compressed buffer");
+  if (buf[0] != static_cast<uint8_t>(expect)) {
+    return Status::InvalidArgument("buffer kind mismatch");
+  }
+  *pos = 1;
+  uint64_t n = 0;
+  if (!GetVarint(buf, pos, &n)) return Status::DataLoss("truncated header");
+  *count = n;
+  return Status::OK();
+}
+
+class NoneCodec final : public Int64Codec {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kNone; }
+  CpuCostProfile cost_profile() const override { return {1.0, 1.0}; }
+
+  Status Encode(const std::vector<int64_t>& values,
+                std::vector<uint8_t>* out) const override {
+    PutHeader(kind(), values.size(), out);
+    const size_t start = out->size();
+    out->resize(start + values.size() * sizeof(int64_t));
+    if (!values.empty()) {
+      std::memcpy(out->data() + start, values.data(),
+                  values.size() * sizeof(int64_t));
+    }
+    return Status::OK();
+  }
+
+  Status Decode(const std::vector<uint8_t>& buffer,
+                std::vector<int64_t>* values) const override {
+    size_t pos = 0, count = 0;
+    ECODB_RETURN_IF_ERROR(GetHeader(buffer, kind(), &pos, &count));
+    if (buffer.size() - pos < count * sizeof(int64_t)) {
+      return Status::DataLoss("raw buffer truncated");
+    }
+    values->resize(count);
+    if (count > 0) {
+      std::memcpy(values->data(), buffer.data() + pos,
+                  count * sizeof(int64_t));
+    }
+    return Status::OK();
+  }
+};
+
+class RleCodec final : public Int64Codec {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kRle; }
+  CpuCostProfile cost_profile() const override { return {6.0, 3.0}; }
+
+  Status Encode(const std::vector<int64_t>& values,
+                std::vector<uint8_t>* out) const override {
+    PutHeader(kind(), values.size(), out);
+    size_t i = 0;
+    while (i < values.size()) {
+      size_t run = 1;
+      while (i + run < values.size() && values[i + run] == values[i]) ++run;
+      PutVarint(ZigzagEncode(values[i]), out);
+      PutVarint(run, out);
+      i += run;
+    }
+    return Status::OK();
+  }
+
+  Status Decode(const std::vector<uint8_t>& buffer,
+                std::vector<int64_t>* values) const override {
+    size_t pos = 0, count = 0;
+    ECODB_RETURN_IF_ERROR(GetHeader(buffer, kind(), &pos, &count));
+    values->clear();
+    values->reserve(count);
+    while (values->size() < count) {
+      uint64_t zz = 0, run = 0;
+      if (!GetVarint(buffer, &pos, &zz) || !GetVarint(buffer, &pos, &run)) {
+        return Status::DataLoss("rle buffer truncated");
+      }
+      if (run == 0 || values->size() + run > count) {
+        return Status::DataLoss("rle run overflows declared count");
+      }
+      values->insert(values->end(), run, ZigzagDecode(zz));
+    }
+    return Status::OK();
+  }
+};
+
+class DeltaCodec final : public Int64Codec {
+ public:
+  CompressionKind kind() const override { return CompressionKind::kDelta; }
+  CpuCostProfile cost_profile() const override { return {5.0, 4.0}; }
+
+  Status Encode(const std::vector<int64_t>& values,
+                std::vector<uint8_t>* out) const override {
+    PutHeader(kind(), values.size(), out);
+    int64_t prev = 0;
+    for (int64_t v : values) {
+      // Wrapping subtraction via uint64 avoids signed-overflow UB on
+      // adversarial inputs; decode adds back with the same wrap.
+      const uint64_t diff =
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(prev);
+      PutVarint(ZigzagEncode(static_cast<int64_t>(diff)), out);
+      prev = v;
+    }
+    return Status::OK();
+  }
+
+  Status Decode(const std::vector<uint8_t>& buffer,
+                std::vector<int64_t>* values) const override {
+    size_t pos = 0, count = 0;
+    ECODB_RETURN_IF_ERROR(GetHeader(buffer, kind(), &pos, &count));
+    values->clear();
+    values->reserve(count);
+    int64_t prev = 0;
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t zz = 0;
+      if (!GetVarint(buffer, &pos, &zz)) {
+        return Status::DataLoss("delta buffer truncated");
+      }
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                  static_cast<uint64_t>(ZigzagDecode(zz)));
+      values->push_back(prev);
+    }
+    return Status::OK();
+  }
+};
+
+// Bitpack and FOR share machinery; FOR subtracts the minimum first so that
+// clustered-but-large values (e.g. order keys) pack into few bits.
+class BitpackCodecImpl : public Int64Codec {
+ public:
+  explicit BitpackCodecImpl(bool frame_of_reference)
+      : frame_of_reference_(frame_of_reference) {}
+
+  CompressionKind kind() const override {
+    return frame_of_reference_ ? CompressionKind::kFor
+                               : CompressionKind::kBitpack;
+  }
+  CpuCostProfile cost_profile() const override { return {4.0, 3.5}; }
+
+  Status Encode(const std::vector<int64_t>& values,
+                std::vector<uint8_t>* out) const override {
+    PutHeader(kind(), values.size(), out);
+    if (values.empty()) return Status::OK();
+    int64_t reference = 0;
+    if (frame_of_reference_) {
+      reference = *std::min_element(values.begin(), values.end());
+    } else {
+      // Plain bitpack still needs non-negative inputs; fall back to zigzag.
+      for (int64_t v : values) {
+        if (v < 0) reference = std::min(reference, v);
+      }
+    }
+    PutVarint(ZigzagEncode(reference), out);
+    uint64_t max_off = 0;
+    std::vector<uint64_t> offsets;
+    offsets.reserve(values.size());
+    for (int64_t v : values) {
+      const uint64_t off =
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(reference);
+      offsets.push_back(off);
+      max_off = std::max(max_off, off);
+    }
+    const int bits = BitsNeeded(max_off);
+    out->push_back(static_cast<uint8_t>(bits));
+    BitpackValues(offsets, bits, out);
+    return Status::OK();
+  }
+
+  Status Decode(const std::vector<uint8_t>& buffer,
+                std::vector<int64_t>* values) const override {
+    size_t pos = 0, count = 0;
+    ECODB_RETURN_IF_ERROR(GetHeader(buffer, kind(), &pos, &count));
+    values->clear();
+    if (count == 0) return Status::OK();
+    uint64_t ref_zz = 0;
+    if (!GetVarint(buffer, &pos, &ref_zz)) {
+      return Status::DataLoss("bitpack reference truncated");
+    }
+    const int64_t reference = ZigzagDecode(ref_zz);
+    if (pos >= buffer.size()) return Status::DataLoss("bitpack width missing");
+    const int bits = buffer[pos++];
+    if (bits > 64) return Status::DataLoss("bitpack width out of range");
+    std::vector<uint64_t> offsets;
+    ECODB_RETURN_IF_ERROR(
+        BitunpackValues(buffer, pos, bits, count, &offsets));
+    values->reserve(count);
+    for (uint64_t off : offsets) {
+      values->push_back(
+          static_cast<int64_t>(static_cast<uint64_t>(reference) + off));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool frame_of_reference_;
+};
+
+}  // namespace
+
+std::unique_ptr<Int64Codec> MakeInt64Codec(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return std::make_unique<NoneCodec>();
+    case CompressionKind::kRle:
+      return std::make_unique<RleCodec>();
+    case CompressionKind::kDelta:
+      return std::make_unique<DeltaCodec>();
+    case CompressionKind::kBitpack:
+      return std::make_unique<BitpackCodecImpl>(false);
+    case CompressionKind::kFor:
+      return std::make_unique<BitpackCodecImpl>(true);
+    case CompressionKind::kDictionary:
+      return nullptr;  // string-only
+  }
+  return nullptr;
+}
+
+CpuCostProfile StringDictionaryCodec::cost_profile() const {
+  return {12.0, 4.0};
+}
+
+Status StringDictionaryCodec::Encode(const std::vector<std::string>& values,
+                                     std::vector<uint8_t>* out) const {
+  PutHeader(CompressionKind::kDictionary, values.size(), out);
+  // Build dictionary in first-appearance order for determinism.
+  std::unordered_map<std::string, uint64_t> index;
+  std::vector<const std::string*> dict;
+  std::vector<uint64_t> codes;
+  codes.reserve(values.size());
+  for (const std::string& s : values) {
+    auto [it, inserted] = index.try_emplace(s, dict.size());
+    if (inserted) dict.push_back(&it->first);
+    codes.push_back(it->second);
+  }
+  PutVarint(dict.size(), out);
+  for (const std::string* s : dict) {
+    PutVarint(s->size(), out);
+    out->insert(out->end(), s->begin(), s->end());
+  }
+  const int bits = BitsNeeded(dict.empty() ? 0 : dict.size() - 1);
+  out->push_back(static_cast<uint8_t>(bits));
+  BitpackValues(codes, bits, out);
+  return Status::OK();
+}
+
+Status StringDictionaryCodec::Decode(const std::vector<uint8_t>& buffer,
+                                     std::vector<std::string>* values) const {
+  size_t pos = 0, count = 0;
+  ECODB_RETURN_IF_ERROR(
+      GetHeader(buffer, CompressionKind::kDictionary, &pos, &count));
+  uint64_t dict_size = 0;
+  if (!GetVarint(buffer, &pos, &dict_size)) {
+    return Status::DataLoss("dictionary size truncated");
+  }
+  std::vector<std::string> dict;
+  dict.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    uint64_t len = 0;
+    if (!GetVarint(buffer, &pos, &len) || pos + len > buffer.size()) {
+      return Status::DataLoss("dictionary entry truncated");
+    }
+    dict.emplace_back(buffer.begin() + static_cast<long>(pos),
+                      buffer.begin() + static_cast<long>(pos + len));
+    pos += len;
+  }
+  if (pos >= buffer.size() && count > 0) {
+    return Status::DataLoss("dictionary code width missing");
+  }
+  if (count == 0) {
+    values->clear();
+    return Status::OK();
+  }
+  const int bits = buffer[pos++];
+  std::vector<uint64_t> codes;
+  ECODB_RETURN_IF_ERROR(BitunpackValues(buffer, pos, bits, count, &codes));
+  values->clear();
+  values->reserve(count);
+  for (uint64_t c : codes) {
+    if (c >= dict.size()) return Status::DataLoss("dictionary code range");
+    values->push_back(dict[c]);
+  }
+  return Status::OK();
+}
+
+double MeasureInt64Ratio(const Int64Codec& codec,
+                         const std::vector<int64_t>& sample) {
+  if (sample.empty()) return 1.0;
+  std::vector<uint8_t> buf;
+  if (!codec.Encode(sample, &buf).ok()) return 1.0;
+  const double raw = static_cast<double>(sample.size() * sizeof(int64_t));
+  return static_cast<double>(buf.size()) / raw;
+}
+
+}  // namespace ecodb::storage

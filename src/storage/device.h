@@ -1,0 +1,79 @@
+// StorageDevice: the behavioural interface of simulated storage hardware.
+//
+// Devices serialize requests on their own timeline (`busy_until`), translate
+// byte counts into simulated service time using their power/performance
+// specs, and charge the EnergyMeter: a continuous background level for the
+// current power state plus active-energy pulses per request. Power-state
+// control (spin-down / spin-up) is exposed so the consolidation scheduler
+// (Section 4.2 of the paper) can manage it.
+
+#ifndef ECODB_STORAGE_DEVICE_H_
+#define ECODB_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "power/energy_meter.h"
+
+namespace ecodb::storage {
+
+/// Result of one submitted I/O.
+struct IoResult {
+  double start_time = 0.0;       // when the device began servicing
+  double completion_time = 0.0;  // when the data was fully transferred
+  double service_seconds = 0.0;  // completion - start
+};
+
+/// Abstract simulated storage device.
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  /// Submits a read of `bytes`. The device starts no earlier than
+  /// `earliest_start` and no earlier than its previous request's completion.
+  /// `sequential` requests skip positioning costs after the first access.
+  virtual IoResult SubmitRead(double earliest_start, uint64_t bytes,
+                              bool sequential) = 0;
+
+  /// Submits a write (same queueing semantics).
+  virtual IoResult SubmitWrite(double earliest_start, uint64_t bytes,
+                               bool sequential) = 0;
+
+  /// Completion time of the last accepted request.
+  virtual double busy_until() const = 0;
+
+  /// Requests a transition to the low-power state at time `t` (>= busy
+  /// time). No-op for devices without such a state.
+  virtual void PowerDown(double t) = 0;
+
+  /// Requests a wake-up beginning at time `t`; subsequent I/O waits for the
+  /// transition if the device was sleeping.
+  virtual void PowerUp(double t) = 0;
+
+  /// True if the device is currently in its low-power state.
+  virtual bool IsPoweredDown() const = 0;
+
+  /// Idle Watts the device would save per second while powered down.
+  virtual double StandbySavingsWatts() const = 0;
+
+  /// Minimum idle period for which PowerDown saves energy.
+  virtual double BreakEvenIdleSeconds() const = 0;
+
+  virtual const std::string& name() const = 0;
+
+  /// Meter channel carrying this device's energy.
+  virtual power::ChannelId channel() const = 0;
+
+  /// Predicted service time of a random read of `bytes`, with the device in
+  /// its current power state and otherwise idle. Used by the optimizer's
+  /// cost model and the energy-aware buffer replacement policy.
+  virtual double EstimateReadSeconds(uint64_t bytes) const = 0;
+
+  /// Predicted energy of that read (active power x service time, plus any
+  /// wake-up energy the current state implies).
+  virtual double EstimateReadJoules(uint64_t bytes) const = 0;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_DEVICE_H_

@@ -1,0 +1,164 @@
+#include "storage/disk_array.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::storage {
+
+DiskArray::DiskArray(std::string name, ArraySpec spec,
+                     std::vector<std::unique_ptr<StorageDevice>> members)
+    : name_(std::move(name)), spec_(spec), members_(std::move(members)) {
+  assert(!members_.empty());
+  assert(spec_.level != RaidLevel::kRaid5 || members_.size() >= 3);
+}
+
+double DiskArray::DataFraction() const {
+  if (spec_.level == RaidLevel::kRaid5) {
+    const double n = static_cast<double>(members_.size());
+    return (n - 1.0) / n;
+  }
+  return 1.0;
+}
+
+IoResult DiskArray::Submit(double earliest_start, uint64_t bytes,
+                           bool sequential, bool is_write) {
+  const double start = std::max(earliest_start, busy_until_);
+  const size_t n = members_.size();
+
+  // Fair share per member, inflated by stripe skew (the array completes when
+  // its slowest member does; with wider stripes the imbalance worsens).
+  double share = static_cast<double>(bytes) / static_cast<double>(n);
+  if (is_write && spec_.level == RaidLevel::kRaid5) {
+    // Full-stripe RAID-5 writes add one parity unit per (n-1) data units.
+    share *= static_cast<double>(n) / static_cast<double>(n - 1);
+  }
+  const double skew =
+      1.0 + spec_.stripe_skew_alpha * static_cast<double>(n - 1);
+  const uint64_t member_bytes =
+      static_cast<uint64_t>(share * skew + 0.5);
+
+  double member_completion = start;
+  for (auto& m : members_) {
+    const IoResult r = is_write
+                           ? m->SubmitWrite(start, member_bytes, sequential)
+                           : m->SubmitRead(start, member_bytes, sequential);
+    member_completion = std::max(member_completion, r.completion_time);
+  }
+
+  // The controller/SAS fabric moves the full request serially; the array is
+  // done when both the slowest member and the fabric are done.
+  const double fabric_done = start + spec_.per_request_overhead_s +
+                             static_cast<double>(bytes) /
+                                 spec_.controller_bw_bytes_per_s;
+  const double end = std::max(member_completion, fabric_done);
+  busy_until_ = end;
+  return IoResult{start, end, end - start};
+}
+
+IoResult DiskArray::SubmitRead(double earliest_start, uint64_t bytes,
+                               bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/false);
+}
+
+IoResult DiskArray::SubmitWrite(double earliest_start, uint64_t bytes,
+                                bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/true);
+}
+
+double DiskArray::EstimateReadSeconds(uint64_t bytes) const {
+  const size_t n = members_.size();
+  const double skew =
+      1.0 + spec_.stripe_skew_alpha * static_cast<double>(n - 1);
+  const uint64_t member_bytes = static_cast<uint64_t>(
+      static_cast<double>(bytes) / static_cast<double>(n) * skew + 0.5);
+  double slowest = 0.0;
+  for (const auto& m : members_) {
+    slowest = std::max(slowest, m->EstimateReadSeconds(member_bytes));
+  }
+  const double fabric = spec_.per_request_overhead_s +
+                        static_cast<double>(bytes) /
+                            spec_.controller_bw_bytes_per_s;
+  return std::max(slowest, fabric);
+}
+
+double DiskArray::EstimateReadJoules(uint64_t bytes) const {
+  const size_t n = members_.size();
+  const double skew =
+      1.0 + spec_.stripe_skew_alpha * static_cast<double>(n - 1);
+  const uint64_t member_bytes = static_cast<uint64_t>(
+      static_cast<double>(bytes) / static_cast<double>(n) * skew + 0.5);
+  double joules = 0.0;
+  for (const auto& m : members_) {
+    joules += m->EstimateReadJoules(member_bytes);
+  }
+  return joules;
+}
+
+void DiskArray::PowerDown(double t) {
+  for (auto& m : members_) m->PowerDown(t);
+}
+
+void DiskArray::PowerUp(double t) {
+  for (auto& m : members_) m->PowerUp(t);
+  for (auto& m : members_) {
+    busy_until_ = std::max(busy_until_, m->busy_until());
+  }
+}
+
+bool DiskArray::IsPoweredDown() const {
+  for (const auto& m : members_) {
+    if (!m->IsPoweredDown()) return false;
+  }
+  return true;
+}
+
+double DiskArray::StandbySavingsWatts() const {
+  double total = 0.0;
+  for (const auto& m : members_) total += m->StandbySavingsWatts();
+  return total;
+}
+
+double DiskArray::BreakEvenIdleSeconds() const {
+  double worst = 0.0;
+  for (const auto& m : members_) {
+    worst = std::max(worst, m->BreakEvenIdleSeconds());
+  }
+  return worst;
+}
+
+StatusOr<std::vector<uint8_t>> ComputeParity(
+    const std::vector<std::vector<uint8_t>>& blocks) {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("parity over zero blocks");
+  }
+  const size_t len = blocks[0].size();
+  for (const auto& b : blocks) {
+    if (b.size() != len) {
+      return Status::InvalidArgument("parity blocks must be equal-sized");
+    }
+  }
+  std::vector<uint8_t> parity(len, 0);
+  for (const auto& b : blocks) {
+    for (size_t i = 0; i < len; ++i) parity[i] ^= b[i];
+  }
+  return parity;
+}
+
+StatusOr<std::vector<uint8_t>> ReconstructBlock(
+    const std::vector<std::vector<uint8_t>>& blocks, size_t missing_index,
+    const std::vector<uint8_t>& parity) {
+  if (missing_index >= blocks.size()) {
+    return Status::InvalidArgument("missing index out of range");
+  }
+  std::vector<uint8_t> rebuilt = parity;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (b == missing_index) continue;
+    if (blocks[b].size() != parity.size()) {
+      return Status::InvalidArgument("block/parity size mismatch");
+    }
+    for (size_t i = 0; i < parity.size(); ++i) rebuilt[i] ^= blocks[b][i];
+  }
+  return rebuilt;
+}
+
+}  // namespace ecodb::storage

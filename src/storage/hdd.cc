@@ -1,0 +1,90 @@
+#include "storage/hdd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::storage {
+
+HddDevice::HddDevice(std::string name, const power::HddSpec& spec,
+                     power::EnergyMeter* meter)
+    : name_(std::move(name)), spec_(spec), meter_(meter) {
+  assert(power::ValidateHddSpec(spec_).ok());
+  channel_ = meter_->RegisterChannel(name_, spec_.idle_watts);
+  busy_until_ = meter_->clock()->now();
+}
+
+void HddDevice::PowerDown(double t) {
+  t = std::max(t, busy_until_);
+  if (standby_) return;
+  standby_ = true;
+  meter_->SetPowerAt(channel_, t, spec_.standby_watts);
+  busy_until_ = std::max(busy_until_, t);
+  last_op_sequential_ = false;  // heads lose position
+}
+
+void HddDevice::PowerUp(double t) {
+  t = std::max(t, busy_until_);
+  if (!standby_) return;
+  standby_ = false;
+  ++spinup_count_;
+  // Spin-up: draw spinup watts for spinup_seconds, then drop to idle.
+  const double extra =
+      (spec_.spinup_watts - spec_.standby_watts) * spec_.spinup_seconds;
+  meter_->AddEnergyAt(channel_, t + spec_.spinup_seconds, extra,
+                      spec_.spinup_seconds);
+  meter_->SetPowerAt(channel_, t + spec_.spinup_seconds, spec_.idle_watts);
+  busy_until_ = t + spec_.spinup_seconds;
+}
+
+IoResult HddDevice::Submit(double earliest_start, uint64_t bytes,
+                           bool sequential, double bw_bytes_per_s) {
+  if (standby_) {
+    PowerUp(std::max(earliest_start, busy_until_));
+  }
+  const double start = std::max(earliest_start, busy_until_);
+  double service = static_cast<double>(bytes) / bw_bytes_per_s;
+  // Positioning: every random access seeks; a sequential access only pays
+  // positioning if the previous op was not part of the same stream.
+  if (!sequential || !last_op_sequential_) {
+    service += spec_.avg_seek_s + spec_.rotational_latency_s;
+  }
+  last_op_sequential_ = sequential;
+  const double end = start + service;
+  // Active-power differential above the idle background for the busy span.
+  meter_->AddEnergyAt(channel_, end,
+                      (spec_.active_watts - spec_.idle_watts) * service,
+                      service);
+  busy_until_ = end;
+  return IoResult{start, end, service};
+}
+
+double HddDevice::EstimateReadSeconds(uint64_t bytes) const {
+  double t = spec_.avg_seek_s + spec_.rotational_latency_s +
+             static_cast<double>(bytes) / spec_.sustained_bw_bytes_per_s;
+  if (standby_) t += spec_.spinup_seconds;
+  return t;
+}
+
+double HddDevice::EstimateReadJoules(uint64_t bytes) const {
+  const double service = spec_.avg_seek_s + spec_.rotational_latency_s +
+                         static_cast<double>(bytes) /
+                             spec_.sustained_bw_bytes_per_s;
+  double joules = spec_.active_watts * service;
+  if (standby_) joules += spec_.SpinupJoules();
+  return joules;
+}
+
+IoResult HddDevice::SubmitRead(double earliest_start, uint64_t bytes,
+                               bool sequential) {
+  return Submit(earliest_start, bytes, sequential,
+                spec_.sustained_bw_bytes_per_s);
+}
+
+IoResult HddDevice::SubmitWrite(double earliest_start, uint64_t bytes,
+                                bool sequential) {
+  // Writes stream at ~90% of read bandwidth on drives of this class.
+  return Submit(earliest_start, bytes, sequential,
+                spec_.sustained_bw_bytes_per_s * 0.9);
+}
+
+}  // namespace ecodb::storage

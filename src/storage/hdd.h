@@ -1,0 +1,72 @@
+// Mechanical-disk simulator with spin-state power management.
+//
+// Models a 15K-RPM SCSI drive of the class used in the paper's Figure 1
+// system: positioning (seek + rotation) for non-sequential accesses,
+// sustained-bandwidth transfers, and the active/idle/standby/spin-up power
+// state machine whose coarseness Section 2.4 laments ("they are either on
+// ... or off, and the transitions can be expensive").
+
+#ifndef ECODB_STORAGE_HDD_H_
+#define ECODB_STORAGE_HDD_H_
+
+#include <string>
+
+#include "power/device_power.h"
+#include "power/energy_meter.h"
+#include "storage/device.h"
+
+namespace ecodb::storage {
+
+class HddDevice final : public StorageDevice {
+ public:
+  /// Registers a meter channel named `name` on `meter`. The disk starts
+  /// spun up and idle. `meter` must outlive the device.
+  HddDevice(std::string name, const power::HddSpec& spec,
+            power::EnergyMeter* meter);
+
+  IoResult SubmitRead(double earliest_start, uint64_t bytes,
+                      bool sequential) override;
+  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
+                       bool sequential) override;
+
+  double busy_until() const override { return busy_until_; }
+
+  void PowerDown(double t) override;
+  void PowerUp(double t) override;
+  bool IsPoweredDown() const override { return standby_; }
+
+  double StandbySavingsWatts() const override {
+    return spec_.idle_watts - spec_.standby_watts;
+  }
+  double BreakEvenIdleSeconds() const override {
+    return spec_.BreakEvenIdleSeconds();
+  }
+
+  const std::string& name() const override { return name_; }
+  power::ChannelId channel() const override { return channel_; }
+
+  double EstimateReadSeconds(uint64_t bytes) const override;
+  double EstimateReadJoules(uint64_t bytes) const override;
+
+  const power::HddSpec& spec() const { return spec_; }
+
+  /// Count of spin-up transitions performed (observability for tests).
+  int spinup_count() const { return spinup_count_; }
+
+ private:
+  IoResult Submit(double earliest_start, uint64_t bytes, bool sequential,
+                  double bw_bytes_per_s);
+
+  std::string name_;
+  power::HddSpec spec_;
+  power::EnergyMeter* meter_;
+  power::ChannelId channel_;
+  double busy_until_ = 0.0;
+  bool standby_ = false;
+  bool last_op_sequential_ = false;
+  int spinup_count_ = 0;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_HDD_H_

@@ -1,0 +1,197 @@
+#include "storage/page.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ecodb::storage {
+
+namespace {
+constexpr size_t kSlotEntrySize = 4;
+}  // namespace
+
+Page::Page() : image_(kPageSize, 0) {
+  WriteU16(0, 0);                                   // slot_count
+  WriteU16(2, static_cast<uint16_t>(kPageSize));    // free_start (grows down)
+  WriteU16(4, 0);                                   // live_count
+}
+
+StatusOr<Page> Page::FromImage(std::vector<uint8_t> image) {
+  if (image.size() != kPageSize) {
+    return Status::InvalidArgument("page image must be exactly 8192 bytes");
+  }
+  Page p;
+  p.image_ = std::move(image);
+  // Structural sanity: directory must not cross the payload area.
+  const uint16_t slots = p.ReadU16(0);
+  const uint16_t free_start = p.ReadU16(2);
+  if (kHeaderSize + slots * kSlotEntrySize > free_start ||
+      free_start > kPageSize) {
+    return Status::DataLoss("corrupt page header");
+  }
+  return p;
+}
+
+uint16_t Page::ReadU16(size_t off) const {
+  return static_cast<uint16_t>(image_[off] | (image_[off + 1] << 8));
+}
+
+void Page::WriteU16(size_t off, uint16_t v) {
+  image_[off] = static_cast<uint8_t>(v & 0xff);
+  image_[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t Page::slot_count() const { return ReadU16(0); }
+uint16_t Page::live_records() const { return ReadU16(4); }
+
+uint16_t Page::SlotOffset(uint16_t slot) const {
+  return ReadU16(kHeaderSize + slot * kSlotEntrySize);
+}
+
+uint16_t Page::SlotLength(uint16_t slot) const {
+  return ReadU16(kHeaderSize + slot * kSlotEntrySize + 2);
+}
+
+void Page::SetSlot(uint16_t slot, uint16_t off, uint16_t len) {
+  WriteU16(kHeaderSize + slot * kSlotEntrySize, off);
+  WriteU16(kHeaderSize + slot * kSlotEntrySize + 2, len);
+}
+
+size_t Page::FreeSpace() const {
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  const size_t free_start = ReadU16(2);
+  const size_t gap = free_start - dir_end;
+  return gap > kSlotEntrySize ? gap - kSlotEntrySize : 0;
+}
+
+StatusOr<uint16_t> Page::Insert(std::span<const uint8_t> record) {
+  if (record.size() > UINT16_MAX) {
+    return Status::InvalidArgument("record larger than 64 KiB");
+  }
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  const size_t free_start = ReadU16(2);
+  if (dir_end + kSlotEntrySize + record.size() > free_start) {
+    return Status::ResourceExhausted("page full");
+  }
+  const uint16_t new_off = static_cast<uint16_t>(free_start - record.size());
+  if (!record.empty()) {
+    std::memcpy(image_.data() + new_off, record.data(), record.size());
+  }
+  const uint16_t slot = slot_count();
+  WriteU16(0, static_cast<uint16_t>(slot + 1));
+  WriteU16(2, new_off);
+  WriteU16(4, static_cast<uint16_t>(live_records() + 1));
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+StatusOr<std::span<const uint8_t>> Page::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = SlotOffset(slot);
+  if (off == 0) return Status::NotFound("slot tombstoned");
+  return std::span<const uint8_t>(image_.data() + off, SlotLength(slot));
+}
+
+Status Page::Erase(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  if (SlotOffset(slot) == 0) return Status::NotFound("slot tombstoned");
+  SetSlot(slot, 0, 0);
+  WriteU16(4, static_cast<uint16_t>(live_records() - 1));
+  return Status::OK();
+}
+
+Status Page::Update(uint16_t slot, std::span<const uint8_t> record) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = SlotOffset(slot);
+  if (off == 0) return Status::NotFound("slot tombstoned");
+  if (record.size() <= SlotLength(slot)) {
+    // Shrinking/equal update rewrites in place (dead tail space is
+    // reclaimed by the next Compact()).
+    if (!record.empty()) {
+      std::memcpy(image_.data() + off, record.data(), record.size());
+    }
+    SetSlot(slot, off, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Growing update: append a fresh copy if it fits, else compact and retry.
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  size_t free_start = ReadU16(2);
+  if (dir_end + record.size() > free_start) {
+    // Stash the old payload, drop it so Compact can reclaim its space, and
+    // restore it if the grown record still does not fit.
+    const uint16_t old_len = SlotLength(slot);
+    std::vector<uint8_t> old_payload(image_.begin() + off,
+                                     image_.begin() + off + old_len);
+    SetSlot(slot, 0, 0);
+    Compact();
+    free_start = ReadU16(2);
+    if (dir_end + record.size() > free_start) {
+      const uint16_t back_off =
+          static_cast<uint16_t>(free_start - old_payload.size());
+      if (old_len > 0) {
+        std::memcpy(image_.data() + back_off, old_payload.data(), old_len);
+      }
+      WriteU16(2, back_off);
+      SetSlot(slot, back_off, old_len);
+      return Status::ResourceExhausted("page full");
+    }
+  }
+  const uint16_t new_off = static_cast<uint16_t>(free_start - record.size());
+  std::memcpy(image_.data() + new_off, record.data(), record.size());
+  WriteU16(2, new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+Status Page::Resurrect(uint16_t slot, std::span<const uint8_t> record) {
+  if (slot >= slot_count()) {
+    return Status::FailedPrecondition("slot out of range");
+  }
+  if (SlotOffset(slot) != 0) {
+    return Status::FailedPrecondition("slot is live");
+  }
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  size_t free_start = ReadU16(2);
+  if (dir_end + record.size() > free_start) {
+    Compact();
+    free_start = ReadU16(2);
+    if (dir_end + record.size() > free_start) {
+      return Status::ResourceExhausted("page full");
+    }
+  }
+  const uint16_t new_off = static_cast<uint16_t>(free_start - record.size());
+  if (!record.empty()) {
+    std::memcpy(image_.data() + new_off, record.data(), record.size());
+  }
+  WriteU16(2, new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  WriteU16(4, static_cast<uint16_t>(live_records() + 1));
+  return Status::OK();
+}
+
+void Page::Compact() {
+  const uint16_t slots = slot_count();
+  std::vector<uint8_t> scratch;
+  scratch.reserve(kPageSize);
+  // Collect live payloads back-to-front into scratch, then rewrite.
+  uint16_t write_pos = kPageSize;
+  std::vector<std::pair<uint16_t, uint16_t>> new_slots(slots, {0, 0});
+  std::vector<uint8_t> payload(kPageSize, 0);
+  for (uint16_t s = 0; s < slots; ++s) {
+    const uint16_t off = SlotOffset(s);
+    if (off == 0) continue;
+    const uint16_t len = SlotLength(s);
+    write_pos = static_cast<uint16_t>(write_pos - len);
+    if (len > 0) {
+      std::memcpy(payload.data() + write_pos, image_.data() + off, len);
+    }
+    new_slots[s] = {write_pos, len};
+  }
+  std::memcpy(image_.data() + write_pos, payload.data() + write_pos,
+              kPageSize - write_pos);
+  WriteU16(2, write_pos);
+  for (uint16_t s = 0; s < slots; ++s) {
+    SetSlot(s, new_slots[s].first, new_slots[s].second);
+  }
+}
+
+}  // namespace ecodb::storage

@@ -1,0 +1,105 @@
+// Slotted page: the on-"disk" record layout for row storage and the WAL.
+//
+// A page is a fixed 8 KiB byte buffer with a header, a slot directory
+// growing from the front, and record payloads growing from the back:
+//
+//   [header][slot 0][slot 1]...        ...[record 1][record 0]
+//
+// Deleting a record tombstones its slot; Compact() reclaims payload space.
+// This is a genuine byte-level implementation (tested by round-trip and
+// fuzz-style property tests), not a mock: recovery replays log records into
+// these pages.
+
+#ifndef ECODB_STORAGE_PAGE_H_
+#define ECODB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecodb::storage {
+
+/// Identifies a page within a database: (file/table space, page number).
+struct PageId {
+  uint32_t space_id = 0;
+  uint32_t page_no = 0;
+
+  bool operator==(const PageId&) const = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return (static_cast<size_t>(id.space_id) << 32) ^ id.page_no;
+  }
+};
+
+/// Fixed-size slotted page.
+class Page {
+ public:
+  static constexpr size_t kPageSize = 8192;
+  static constexpr uint16_t kInvalidSlot = UINT16_MAX;
+
+  /// Constructs an empty, formatted page.
+  Page();
+
+  /// Wraps an existing image (e.g. read back during recovery). The image
+  /// must be exactly kPageSize bytes.
+  static StatusOr<Page> FromImage(std::vector<uint8_t> image);
+
+  /// Number of live (non-tombstoned) records.
+  uint16_t live_records() const;
+
+  /// Total slots including tombstones.
+  uint16_t slot_count() const;
+
+  /// Bytes available for a new record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// Inserts a record, returning its slot. Fails with ResourceExhausted if
+  /// the record does not fit (use FreeSpace()/Compact() first).
+  StatusOr<uint16_t> Insert(std::span<const uint8_t> record);
+
+  /// Reads the record in `slot`. NotFound if tombstoned or out of range.
+  StatusOr<std::span<const uint8_t>> Get(uint16_t slot) const;
+
+  /// Tombstones `slot`. NotFound if already dead or out of range.
+  Status Erase(uint16_t slot);
+
+  /// Replaces the record in `slot`. May relocate the payload within the
+  /// page; fails with ResourceExhausted if the new value cannot fit.
+  Status Update(uint16_t slot, std::span<const uint8_t> record);
+
+  /// Re-activates a tombstoned slot with `record` (transaction undo of an
+  /// erase). FailedPrecondition if the slot is live or out of range.
+  Status Resurrect(uint16_t slot, std::span<const uint8_t> record);
+
+  /// Rewrites the payload area dropping dead space. Slot numbers of live
+  /// records are preserved (tombstoned slots remain tombstoned).
+  void Compact();
+
+  /// Raw image, e.g. for writing to a device or logging a full-page image.
+  const std::vector<uint8_t>& image() const { return image_; }
+
+ private:
+  // Header layout (little-endian u16s at fixed offsets):
+  //   [0] slot_count  [2] free_start (payload low-water mark grows down)
+  //   [4] live_count
+  // Slot i at offset kHeaderSize + 4*i: [offset:u16][length:u16];
+  // offset==0 marks a tombstone (0 is inside the header, never a payload).
+  static constexpr size_t kHeaderSize = 6;
+
+  uint16_t ReadU16(size_t off) const;
+  void WriteU16(size_t off, uint16_t v);
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t off, uint16_t len);
+
+  std::vector<uint8_t> image_;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_PAGE_H_

@@ -1,0 +1,56 @@
+#include "storage/remote.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::storage {
+
+RemoteDevice::RemoteDevice(std::string name, const power::NicSpec& nic,
+                           power::EnergyMeter* meter, StorageDevice* backing)
+    : name_(std::move(name)), nic_(nic), meter_(meter), backing_(backing) {
+  assert(nic_.bw_bytes_per_s > 0);
+  nic_channel_ = meter_->RegisterChannel(name_ + "-nic", nic_.idle_watts);
+  busy_until_ = meter_->clock()->now();
+}
+
+IoResult RemoteDevice::Submit(double earliest_start, uint64_t bytes,
+                              bool sequential, bool is_write) {
+  const double start = std::max(earliest_start, busy_until_);
+  // The remote end services the request...
+  const IoResult remote = is_write
+                              ? backing_->SubmitWrite(start, bytes, sequential)
+                              : backing_->SubmitRead(start, bytes, sequential);
+  // ...and the bytes stream through the NIC; pipelined, so the transfer
+  // finishes when the slower stage does.
+  const double nic_seconds = static_cast<double>(bytes) / nic_.bw_bytes_per_s;
+  const double end =
+      std::max(remote.completion_time, start + nic_seconds);
+  meter_->AddEnergyAt(nic_channel_, end,
+                      (nic_.active_watts - nic_.idle_watts) * nic_seconds,
+                      nic_seconds);
+  busy_until_ = end;
+  return IoResult{start, end, end - start};
+}
+
+IoResult RemoteDevice::SubmitRead(double earliest_start, uint64_t bytes,
+                                  bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/false);
+}
+
+IoResult RemoteDevice::SubmitWrite(double earliest_start, uint64_t bytes,
+                                   bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/true);
+}
+
+double RemoteDevice::EstimateReadSeconds(uint64_t bytes) const {
+  return std::max(backing_->EstimateReadSeconds(bytes),
+                  static_cast<double>(bytes) / nic_.bw_bytes_per_s);
+}
+
+double RemoteDevice::EstimateReadJoules(uint64_t bytes) const {
+  const double nic_seconds = static_cast<double>(bytes) / nic_.bw_bytes_per_s;
+  return backing_->EstimateReadJoules(bytes) +
+         nic_.active_watts * nic_seconds;
+}
+
+}  // namespace ecodb::storage

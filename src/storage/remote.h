@@ -1,0 +1,72 @@
+// Network-attached storage device.
+//
+// Section 5.1 of the paper expects energy-aware physical design to choose
+// among "different sets of disk arrays that vary in performance/power
+// characteristics, different types of solid state drives, along with remote
+// storage, accessible over a network". RemoteDevice composes a local NIC
+// (metered on its own channel) with a remote backing device: every transfer
+// moves through both, the slower of the two paces it, and both bill energy.
+// The remote end's idle power is deliberately NOT on this host's meter —
+// that is the energy argument for disaggregated storage: the shared remote
+// array's floor amortizes over many hosts.
+
+#ifndef ECODB_STORAGE_REMOTE_H_
+#define ECODB_STORAGE_REMOTE_H_
+
+#include <string>
+
+#include "power/device_power.h"
+#include "power/energy_meter.h"
+#include "storage/device.h"
+
+namespace ecodb::storage {
+
+class RemoteDevice final : public StorageDevice {
+ public:
+  /// `backing` is the device at the remote end (owned elsewhere, typically
+  /// metered on a different host's meter); the NIC channel is registered on
+  /// `meter` (this host). Both must outlive the RemoteDevice.
+  RemoteDevice(std::string name, const power::NicSpec& nic,
+               power::EnergyMeter* meter, StorageDevice* backing);
+
+  IoResult SubmitRead(double earliest_start, uint64_t bytes,
+                      bool sequential) override;
+  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
+                       bool sequential) override;
+
+  double busy_until() const override { return busy_until_; }
+
+  // Power management passes through to the remote end.
+  void PowerDown(double t) override { backing_->PowerDown(t); }
+  void PowerUp(double t) override { backing_->PowerUp(t); }
+  bool IsPoweredDown() const override { return backing_->IsPoweredDown(); }
+  double StandbySavingsWatts() const override {
+    return backing_->StandbySavingsWatts();
+  }
+  double BreakEvenIdleSeconds() const override {
+    return backing_->BreakEvenIdleSeconds();
+  }
+
+  const std::string& name() const override { return name_; }
+  power::ChannelId channel() const override { return nic_channel_; }
+
+  double EstimateReadSeconds(uint64_t bytes) const override;
+  double EstimateReadJoules(uint64_t bytes) const override;
+
+  const power::NicSpec& nic() const { return nic_; }
+
+ private:
+  IoResult Submit(double earliest_start, uint64_t bytes, bool sequential,
+                  bool is_write);
+
+  std::string name_;
+  power::NicSpec nic_;
+  power::EnergyMeter* meter_;
+  power::ChannelId nic_channel_;
+  StorageDevice* backing_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_REMOTE_H_

@@ -1,0 +1,40 @@
+#include "storage/ssd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::storage {
+
+SsdDevice::SsdDevice(std::string name, const power::SsdSpec& spec,
+                     power::EnergyMeter* meter)
+    : name_(std::move(name)), spec_(spec), meter_(meter) {
+  assert(power::ValidateSsdSpec(spec_).ok());
+  channel_ = meter_->RegisterChannel(name_, spec_.idle_watts);
+  busy_until_ = meter_->clock()->now();
+}
+
+IoResult SsdDevice::Submit(double earliest_start, uint64_t bytes, double bw,
+                           double latency) {
+  const double start = std::max(earliest_start, busy_until_);
+  const double service = latency + static_cast<double>(bytes) / bw;
+  const double end = start + service;
+  meter_->AddEnergyAt(channel_, end,
+                      (spec_.active_watts - spec_.idle_watts) * service,
+                      service);
+  busy_until_ = end;
+  return IoResult{start, end, service};
+}
+
+IoResult SsdDevice::SubmitRead(double earliest_start, uint64_t bytes,
+                               bool /*sequential*/) {
+  return Submit(earliest_start, bytes, spec_.read_bw_bytes_per_s,
+                spec_.read_latency_s);
+}
+
+IoResult SsdDevice::SubmitWrite(double earliest_start, uint64_t bytes,
+                                bool /*sequential*/) {
+  return Submit(earliest_start, bytes, spec_.write_bw_bytes_per_s,
+                spec_.write_latency_s);
+}
+
+}  // namespace ecodb::storage

@@ -1,0 +1,64 @@
+// Flash SSD simulator.
+//
+// Models the drives of the paper's Figure 2 ("SSD flash disks, which are an
+// order of magnitude more energy efficient than regular hard drives"): no
+// positioning delay beyond a small per-request latency, high bandwidth, and
+// a low active/idle power draw with no expensive state transitions.
+
+#ifndef ECODB_STORAGE_SSD_H_
+#define ECODB_STORAGE_SSD_H_
+
+#include <string>
+
+#include "power/device_power.h"
+#include "power/energy_meter.h"
+#include "storage/device.h"
+
+namespace ecodb::storage {
+
+class SsdDevice final : public StorageDevice {
+ public:
+  SsdDevice(std::string name, const power::SsdSpec& spec,
+            power::EnergyMeter* meter);
+
+  IoResult SubmitRead(double earliest_start, uint64_t bytes,
+                      bool sequential) override;
+  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
+                       bool sequential) override;
+
+  double busy_until() const override { return busy_until_; }
+
+  // SSDs idle at sub-watt draw; there is no deep state to manage.
+  void PowerDown(double) override {}
+  void PowerUp(double) override {}
+  bool IsPoweredDown() const override { return false; }
+  double StandbySavingsWatts() const override { return 0.0; }
+  double BreakEvenIdleSeconds() const override { return 1e300; }
+
+  const std::string& name() const override { return name_; }
+  power::ChannelId channel() const override { return channel_; }
+
+  double EstimateReadSeconds(uint64_t bytes) const override {
+    return spec_.read_latency_s +
+           static_cast<double>(bytes) / spec_.read_bw_bytes_per_s;
+  }
+  double EstimateReadJoules(uint64_t bytes) const override {
+    return spec_.active_watts * EstimateReadSeconds(bytes);
+  }
+
+  const power::SsdSpec& spec() const { return spec_; }
+
+ private:
+  IoResult Submit(double earliest_start, uint64_t bytes, double bw,
+                  double latency);
+
+  std::string name_;
+  power::SsdSpec spec_;
+  power::EnergyMeter* meter_;
+  power::ChannelId channel_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_SSD_H_

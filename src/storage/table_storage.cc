@@ -1,0 +1,298 @@
+#include "storage/table_storage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace ecodb::storage {
+
+const char* TableLayoutName(TableLayout layout) {
+  switch (layout) {
+    case TableLayout::kRow:
+      return "row";
+    case TableLayout::kColumn:
+      return "column";
+  }
+  return "unknown";
+}
+
+size_t ColumnData::size() const {
+  switch (type) {
+    case catalog::DataType::kInt64:
+    case catalog::DataType::kDate:
+      return i64.size();
+    case catalog::DataType::kDouble:
+      return f64.size();
+    case catalog::DataType::kString:
+      return str.size();
+  }
+  return 0;
+}
+
+TableStorage::TableStorage(catalog::TableId id, catalog::Schema schema,
+                           TableLayout layout, StorageDevice* device)
+    : id_(id), schema_(std::move(schema)), layout_(layout), device_(device) {
+  columns_.resize(schema_.num_columns());
+  layouts_.resize(schema_.num_columns());
+  encoded_.resize(schema_.num_columns());
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    columns_[i].type = schema_.column(i).type;
+  }
+}
+
+namespace {
+
+uint64_t RawColumnBytes(const catalog::Column& col, uint64_t rows,
+                        const ColumnData& data) {
+  if (col.type == catalog::DataType::kString) {
+    uint64_t total = 0;
+    for (const std::string& s : data.str) total += s.size() + 1;
+    return total;
+  }
+  return rows * 8;
+}
+
+}  // namespace
+
+Status TableStorage::Append(const std::vector<ColumnData>& columns) {
+  if (static_cast<int>(columns.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (columns[i].type != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(i).name);
+    }
+    if (columns[i].size() != rows) {
+      return Status::InvalidArgument("ragged column lengths");
+    }
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    ColumnData& dst = columns_[i];
+    const ColumnData& src = columns[i];
+    dst.i64.insert(dst.i64.end(), src.i64.begin(), src.i64.end());
+    dst.f64.insert(dst.f64.end(), src.f64.begin(), src.f64.end());
+    dst.str.insert(dst.str.end(), src.str.begin(), src.str.end());
+  }
+  row_count_ += rows;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    ECODB_RETURN_IF_ERROR(ReencodeColumn(i));
+  }
+  return Status::OK();
+}
+
+Status TableStorage::ReencodeColumn(int i) {
+  ColumnLayout& layout = layouts_[i];
+  const catalog::Column& col = schema_.column(i);
+  layout.raw_bytes = RawColumnBytes(col, row_count_, columns_[i]);
+
+  if (layout.compression == CompressionKind::kNone) {
+    encoded_[i].clear();
+    layout.encoded_bytes = layout.raw_bytes;
+    return Status::OK();
+  }
+  if (col.type == catalog::DataType::kString) {
+    if (layout.compression != CompressionKind::kDictionary) {
+      return Status::InvalidArgument("string columns support dictionary only");
+    }
+    StringDictionaryCodec codec;
+    ECODB_RETURN_IF_ERROR(codec.Encode(columns_[i].str, &encoded_[i]));
+    layout.encoded_bytes = encoded_[i].size();
+    return Status::OK();
+  }
+  if (col.type == catalog::DataType::kDouble) {
+    return Status::Unimplemented("double columns are stored uncompressed");
+  }
+  auto codec = MakeInt64Codec(layout.compression);
+  if (codec == nullptr) {
+    return Status::InvalidArgument("codec not applicable to int64");
+  }
+  ECODB_RETURN_IF_ERROR(codec->Encode(columns_[i].i64, &encoded_[i]));
+  layout.encoded_bytes = encoded_[i].size();
+  return Status::OK();
+}
+
+Status TableStorage::SetCompression(const std::string& column,
+                                    CompressionKind kind) {
+  const int idx = schema_.FindColumn(column);
+  if (idx < 0) return Status::NotFound("no column named '" + column + "'");
+  const CompressionKind prev = layouts_[idx].compression;
+  layouts_[idx].compression = kind;
+  const Status st = ReencodeColumn(idx);
+  if (!st.ok()) layouts_[idx].compression = prev;
+  return st;
+}
+
+StatusOr<ColumnData> TableStorage::ReadColumn(int i) const {
+  if (i < 0 || i >= schema_.num_columns()) {
+    return Status::OutOfRange("column index");
+  }
+  const ColumnLayout& layout = layouts_[i];
+  if (layout.compression == CompressionKind::kNone) {
+    return columns_[i];
+  }
+  // Decode through the codec: this is the real CPU work a compressed scan
+  // performs, and doubles as a continuous lossless-round-trip check.
+  ColumnData out;
+  out.type = columns_[i].type;
+  if (out.type == catalog::DataType::kString) {
+    StringDictionaryCodec codec;
+    ECODB_RETURN_IF_ERROR(codec.Decode(encoded_[i], &out.str));
+    return out;
+  }
+  auto codec = MakeInt64Codec(layout.compression);
+  ECODB_RETURN_IF_ERROR(codec->Decode(encoded_[i], &out.i64));
+  return out;
+}
+
+uint64_t TableStorage::ScanBytes(
+    const std::vector<int>& column_indexes) const {
+  if (layout_ == TableLayout::kRow) {
+    // NSM reads whole rows no matter the projection. Row pages hold the
+    // uncompressed row image (row stores rarely compress in place).
+    uint64_t total = 0;
+    for (int i = 0; i < schema_.num_columns(); ++i) {
+      total += layouts_[i].raw_bytes;
+    }
+    return total;
+  }
+  uint64_t total = 0;
+  std::unordered_set<int> seen;
+  for (int i : column_indexes) {
+    if (i < 0 || i >= schema_.num_columns() || !seen.insert(i).second) {
+      continue;
+    }
+    total += layouts_[i].encoded_bytes;
+  }
+  return total;
+}
+
+uint64_t TableStorage::TotalBytes() const {
+  uint64_t total = 0;
+  for (const ColumnLayout& l : layouts_) total += l.encoded_bytes;
+  return total;
+}
+
+double TableStorage::DecodeInstructions(
+    const std::vector<int>& column_indexes) const {
+  double instructions = 0.0;
+  std::unordered_set<int> seen;
+  for (int i : column_indexes) {
+    if (i < 0 || i >= schema_.num_columns() || !seen.insert(i).second) {
+      continue;
+    }
+    const ColumnLayout& layout = layouts_[i];
+    double per_value = 1.0;  // touch cost
+    if (layout.compression == CompressionKind::kDictionary) {
+      per_value = StringDictionaryCodec().cost_profile()
+                      .decode_instructions_per_value;
+    } else if (layout.compression != CompressionKind::kNone) {
+      per_value = MakeInt64Codec(layout.compression)
+                      ->cost_profile()
+                      .decode_instructions_per_value;
+    }
+    instructions += per_value * static_cast<double>(row_count_);
+  }
+  return instructions;
+}
+
+int64_t ZoneStringPrefixKey(const std::string& s) {
+  uint64_t key = 0;
+  for (int i = 0; i < 8; ++i) {
+    key = (key << 8) |
+          (i < static_cast<int>(s.size())
+               ? static_cast<uint8_t>(s[static_cast<size_t>(i)])
+               : 0);
+  }
+  return static_cast<int64_t>(key ^ (1ULL << 63));  // keep signed order
+}
+
+Status TableStorage::BuildZoneMaps(size_t block_rows) {
+  if (block_rows == 0) {
+    return Status::InvalidArgument("block_rows must be positive");
+  }
+  zone_maps_.block_rows = block_rows;
+  zone_maps_.entries.assign(schema_.num_columns(), {});
+  const size_t blocks = (row_count_ + block_rows - 1) / block_rows;
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    std::vector<ZoneEntry>& col_zones = zone_maps_.entries[c];
+    col_zones.resize(blocks);
+    const ColumnData& data = columns_[c];
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t lo = b * block_rows;
+      const size_t hi = std::min<size_t>(row_count_, lo + block_rows);
+      ZoneEntry& z = col_zones[b];
+      switch (data.type) {
+        case catalog::DataType::kInt64:
+        case catalog::DataType::kDate: {
+          z.min_i64 = *std::min_element(data.i64.begin() + lo,
+                                        data.i64.begin() + hi);
+          z.max_i64 = *std::max_element(data.i64.begin() + lo,
+                                        data.i64.begin() + hi);
+          break;
+        }
+        case catalog::DataType::kDouble: {
+          z.min_f64 = *std::min_element(data.f64.begin() + lo,
+                                        data.f64.begin() + hi);
+          z.max_f64 = *std::max_element(data.f64.begin() + lo,
+                                        data.f64.begin() + hi);
+          break;
+        }
+        case catalog::DataType::kString: {
+          int64_t mn = INT64_MAX, mx = INT64_MIN;
+          for (size_t r = lo; r < hi; ++r) {
+            const int64_t k = ZoneStringPrefixKey(data.str[r]);
+            mn = std::min(mn, k);
+            mx = std::max(mx, k);
+          }
+          z.min_i64 = mn;
+          z.max_i64 = mx;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TableStorage::AnalyzeInto(catalog::TableStats* stats) const {
+  stats->row_count = row_count_;
+  stats->columns.assign(schema_.num_columns(), catalog::ColumnStats{});
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    catalog::ColumnStats& cs = stats->columns[i];
+    const ColumnData& data = columns_[i];
+    switch (data.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate: {
+        if (!data.i64.empty()) {
+          cs.min_i64 = *std::min_element(data.i64.begin(), data.i64.end());
+          cs.max_i64 = *std::max_element(data.i64.begin(), data.i64.end());
+          std::unordered_set<int64_t> distinct(data.i64.begin(),
+                                               data.i64.end());
+          cs.distinct_values = distinct.size();
+        }
+        break;
+      }
+      case catalog::DataType::kDouble: {
+        if (!data.f64.empty()) {
+          cs.min_f64 = *std::min_element(data.f64.begin(), data.f64.end());
+          cs.max_f64 = *std::max_element(data.f64.begin(), data.f64.end());
+          std::unordered_set<double> distinct(data.f64.begin(),
+                                              data.f64.end());
+          cs.distinct_values = distinct.size();
+        }
+        break;
+      }
+      case catalog::DataType::kString: {
+        std::unordered_set<std::string> distinct(data.str.begin(),
+                                                 data.str.end());
+        cs.distinct_values = distinct.size();
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ecodb::storage

@@ -1,0 +1,44 @@
+// Zone maps: per-block min/max summaries enabling scan skipping.
+//
+// Section 5.1 of the paper asks for physical-design techniques "that reduce
+// disk bandwidth requirements". A zone map keeps min/max per fixed-size row
+// block; scans with range predicates on well-clustered columns (dates,
+// keys) skip the blocks that cannot match, cutting both device time AND
+// device energy — I/O never performed is the cheapest I/O.
+
+#ifndef ECODB_STORAGE_ZONE_MAP_H_
+#define ECODB_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecodb::storage {
+
+/// Min/max of one column over one row block. Strings are summarized by
+/// their first bytes folded into the i64 lanes (prefix ordering).
+struct ZoneEntry {
+  int64_t min_i64 = 0;
+  int64_t max_i64 = 0;
+  double min_f64 = 0.0;
+  double max_f64 = 0.0;
+};
+
+/// Folds a string's first 8 bytes into an int64 preserving lexicographic
+/// order; used to summarize string columns in the i64 zone lanes.
+int64_t ZoneStringPrefixKey(const std::string& s);
+
+/// Zone maps for one table: entries[column][block].
+struct ZoneMapSet {
+  size_t block_rows = 0;
+  std::vector<std::vector<ZoneEntry>> entries;
+
+  bool empty() const { return block_rows == 0 || entries.empty(); }
+  size_t num_blocks() const {
+    return entries.empty() ? 0 : entries[0].size();
+  }
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_ZONE_MAP_H_

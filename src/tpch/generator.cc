@@ -1,0 +1,163 @@
+#include "tpch/generator.h"
+
+#include <cmath>
+
+namespace ecodb::tpch {
+
+using catalog::Column;
+using catalog::DataType;
+using catalog::Schema;
+using storage::ColumnData;
+
+namespace {
+
+constexpr const char* kOrderStatuses[] = {"O", "F", "P"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kReturnFlags[] = {"R", "A", "N"};
+
+uint64_t OrderCount(const TpchConfig& config) {
+  return static_cast<uint64_t>(config.scale_factor *
+                               static_cast<double>(config.orders_per_sf));
+}
+
+}  // namespace
+
+Schema OrdersSchema() {
+  return Schema({
+      Column{"o_orderkey", DataType::kInt64, 8},
+      Column{"o_custkey", DataType::kInt64, 8},
+      Column{"o_orderstatus", DataType::kString, 1},
+      Column{"o_totalprice", DataType::kDouble, 8},
+      Column{"o_orderdate", DataType::kDate, 8},
+      Column{"o_orderpriority", DataType::kString, 12},
+      Column{"o_shippriority", DataType::kInt64, 8},
+  });
+}
+
+Schema LineitemSchema() {
+  return Schema({
+      Column{"l_orderkey", DataType::kInt64, 8},
+      Column{"l_partkey", DataType::kInt64, 8},
+      Column{"l_suppkey", DataType::kInt64, 8},
+      Column{"l_quantity", DataType::kDouble, 8},
+      Column{"l_extendedprice", DataType::kDouble, 8},
+      Column{"l_discount", DataType::kDouble, 8},
+      Column{"l_returnflag", DataType::kString, 1},
+      Column{"l_shipdate", DataType::kDate, 8},
+  });
+}
+
+std::vector<ColumnData> GenerateOrders(const TpchConfig& config) {
+  const uint64_t n = OrderCount(config);
+  Rng rng(config.seed);
+
+  std::vector<ColumnData> cols(7);
+  ColumnData& okey = cols[0];
+  ColumnData& ckey = cols[1];
+  ColumnData& status = cols[2];
+  ColumnData& price = cols[3];
+  ColumnData& date = cols[4];
+  ColumnData& priority = cols[5];
+  ColumnData& shipprio = cols[6];
+  okey.type = DataType::kInt64;
+  ckey.type = DataType::kInt64;
+  status.type = DataType::kString;
+  price.type = DataType::kDouble;
+  date.type = DataType::kDate;
+  priority.type = DataType::kString;
+  shipprio.type = DataType::kInt64;
+
+  okey.i64.reserve(n);
+  ckey.i64.reserve(n);
+  status.str.reserve(n);
+  price.f64.reserve(n);
+  date.i64.reserve(n);
+  priority.str.reserve(n);
+  shipprio.i64.reserve(n);
+
+  const uint64_t customers =
+      std::max<uint64_t>(1, n / 10);  // TPC-H: 10 orders per customer
+  for (uint64_t i = 0; i < n; ++i) {
+    okey.i64.push_back(static_cast<int64_t>(i + 1));  // clustered key
+    ckey.i64.push_back(
+        rng.Uniform(1, static_cast<int64_t>(customers)));
+    status.str.push_back(kOrderStatuses[rng.Uniform(0, 2)]);
+    // TPC-H prices cluster between ~850 and ~560000.
+    price.f64.push_back(
+        std::round((850.0 + rng.NextDouble() * 559150.0) * 100.0) / 100.0);
+    date.i64.push_back(rng.Uniform(kDateEpochStart,
+                                   kDateEpochStart + kDateRangeDays - 1));
+    priority.str.push_back(kPriorities[rng.Uniform(0, 4)]);
+    shipprio.i64.push_back(0);  // constant in TPC-H — maximally compressible
+  }
+  return cols;
+}
+
+std::vector<ColumnData> GenerateLineitem(const TpchConfig& config) {
+  const uint64_t orders = OrderCount(config);
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<ColumnData> cols(8);
+  ColumnData& okey = cols[0];
+  ColumnData& pkey = cols[1];
+  ColumnData& skey = cols[2];
+  ColumnData& qty = cols[3];
+  ColumnData& eprice = cols[4];
+  ColumnData& disc = cols[5];
+  ColumnData& rflag = cols[6];
+  ColumnData& sdate = cols[7];
+  okey.type = DataType::kInt64;
+  pkey.type = DataType::kInt64;
+  skey.type = DataType::kInt64;
+  qty.type = DataType::kDouble;
+  eprice.type = DataType::kDouble;
+  disc.type = DataType::kDouble;
+  rflag.type = DataType::kString;
+  sdate.type = DataType::kDate;
+
+  const uint64_t parts = std::max<uint64_t>(1, orders / 8);
+  const uint64_t supps = std::max<uint64_t>(1, orders / 150);
+  for (uint64_t o = 1; o <= orders; ++o) {
+    // 1..7 lineitems per order, mean ~ lineitems_per_order.
+    const int64_t max_items = std::max<int64_t>(
+        1, static_cast<int64_t>(2.0 * config.lineitems_per_order) - 1);
+    const int64_t items = rng.Uniform(1, max_items);
+    for (int64_t l = 0; l < items; ++l) {
+      okey.i64.push_back(static_cast<int64_t>(o));
+      pkey.i64.push_back(rng.Uniform(1, static_cast<int64_t>(parts)));
+      skey.i64.push_back(rng.Uniform(1, static_cast<int64_t>(supps)));
+      const double quantity = static_cast<double>(rng.Uniform(1, 50));
+      qty.f64.push_back(quantity);
+      eprice.f64.push_back(
+          std::round(quantity * (901.0 + rng.NextDouble() * 100000.0)) /
+          100.0 * 100.0 / 100.0);
+      disc.f64.push_back(
+          static_cast<double>(rng.Uniform(0, 10)) / 100.0);  // 0.00-0.10
+      rflag.str.push_back(kReturnFlags[rng.Uniform(0, 2)]);
+      sdate.i64.push_back(rng.Uniform(kDateEpochStart,
+                                      kDateEpochStart + kDateRangeDays - 1));
+    }
+  }
+  return cols;
+}
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadOrders(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device) {
+  auto table = std::make_unique<storage::TableStorage>(id, OrdersSchema(),
+                                                       layout, device);
+  ECODB_RETURN_IF_ERROR(table->Append(GenerateOrders(config)));
+  return table;
+}
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadLineitem(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device) {
+  auto table = std::make_unique<storage::TableStorage>(id, LineitemSchema(),
+                                                       layout, device);
+  ECODB_RETURN_IF_ERROR(table->Append(GenerateLineitem(config)));
+  return table;
+}
+
+}  // namespace ecodb::tpch

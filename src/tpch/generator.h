@@ -1,0 +1,66 @@
+// TPC-H-like data generation (ORDERS and LINEITEM).
+//
+// The paper's experiments run against a 300 GB-scale-factor TPC-H database
+// (Figure 1) and a scan of ORDERS projecting 5 of its 7 attributes
+// (Figure 2, after [HLA+06]'s 7-attribute ORDERS variant). The generator
+// reproduces the schema shapes and value distributions that matter for
+// those experiments — clustered keys (compressible with FOR/delta), skewed
+// low-cardinality status/priority strings (dictionary-friendly), dates over
+// a 7-year window, and prices — fully deterministically from a seed.
+//
+// Row counts scale volumetrically: `orders_per_sf` rows of ORDERS per unit
+// of scale factor, so tests run in milliseconds while benchmark configs can
+// scale up.
+
+#ifndef ECODB_TPCH_GENERATOR_H_
+#define ECODB_TPCH_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/table_storage.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ecodb::tpch {
+
+struct TpchConfig {
+  double scale_factor = 1.0;
+  uint64_t orders_per_sf = 15000;  // 1/100 of TPC-H's 1.5M, volumetric
+  double lineitems_per_order = 4.0;
+  uint64_t seed = 20090104;  // CIDR 2009 opening day
+};
+
+/// The 7-attribute ORDERS variant of [HLA+06] / Figure 2.
+catalog::Schema OrdersSchema();
+
+/// LINEITEM columns needed by the throughput-test queries.
+catalog::Schema LineitemSchema();
+
+/// Generates ORDERS columns (o_orderkey, o_custkey, o_orderstatus,
+/// o_totalprice, o_orderdate, o_orderpriority, o_shippriority).
+std::vector<storage::ColumnData> GenerateOrders(const TpchConfig& config);
+
+/// Generates LINEITEM columns (l_orderkey, l_partkey, l_suppkey,
+/// l_quantity, l_extendedprice, l_discount, l_returnflag, l_shipdate).
+/// Order keys reference GenerateOrders output for the same config.
+std::vector<storage::ColumnData> GenerateLineitem(const TpchConfig& config);
+
+/// Convenience: builds and loads a TableStorage for ORDERS / LINEITEM on
+/// `device` with the given layout.
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadOrders(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadLineitem(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+/// Date helpers: days since 1992-01-01 (the TPC-H calendar start).
+constexpr int64_t kDateEpochStart = 0;
+constexpr int64_t kDateRangeDays = 7 * 365;  // 1992-1998
+
+}  // namespace ecodb::tpch
+
+#endif  // ECODB_TPCH_GENERATOR_H_

@@ -1,0 +1,77 @@
+// Checkpointing: bounding recovery work and enabling log truncation.
+//
+// A checkpoint captures the PageStore image as of a log position (the
+// checkpoint LSN) and writes it to stable storage, after which the log
+// prefix up to that LSN can be truncated. Recovery then starts from the
+// checkpoint image instead of an empty database. The energy angle
+// (Section 5.2 of the paper): checkpoint frequency is another
+// batching-factor knob — frequent checkpoints cost device energy during
+// normal operation to save (rare) recovery time.
+
+#ifndef ECODB_TXN_CHECKPOINT_H_
+#define ECODB_TXN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.h"
+#include "storage/device.h"
+#include "txn/log_record.h"
+#include "txn/recovery.h"
+#include "txn/wal.h"
+#include "util/status.h"
+
+namespace ecodb::txn {
+
+/// A durable checkpoint: the page images plus the LSN they are valid at.
+struct Checkpoint {
+  Lsn lsn = kInvalidLsn;
+  /// Serialized page images: [count][space,page,image]* (real bytes; the
+  /// round-trip is tested).
+  std::vector<uint8_t> image;
+
+  /// Serializes `store` as of `lsn`.
+  static Checkpoint Capture(const PageStore& store, Lsn lsn);
+
+  /// Reconstructs the PageStore. DataLoss on corruption.
+  StatusOr<PageStore> Restore() const;
+};
+
+class Checkpointer {
+ public:
+  /// `clock`, `wal`, and `device` must outlive the checkpointer. The
+  /// device receives the checkpoint image writes.
+  Checkpointer(sim::SimClock* clock, WalManager* wal,
+               storage::StorageDevice* device);
+
+  /// Takes a checkpoint of `store` now: appends a kCheckpoint record,
+  /// flushes the log, writes the image to the device, and remembers it.
+  /// Returns the checkpoint LSN.
+  StatusOr<Lsn> Take(const PageStore& store);
+
+  /// The most recent checkpoint (lsn == kInvalidLsn if none taken).
+  const Checkpoint& latest() const { return latest_; }
+
+  /// Bytes of `log` that recovery still needs: the suffix after the
+  /// latest checkpoint's kCheckpoint record. With no checkpoint, the whole
+  /// log. (The WAL's durable bytes remain untouched; this computes the
+  /// truncated view.)
+  std::vector<uint8_t> TruncatedLog(const std::vector<uint8_t>& log) const;
+
+  /// Full restart sequence: restore the checkpoint image (or start empty)
+  /// and replay the truncated log into it.
+  StatusOr<PageStore> Recover(const std::vector<uint8_t>& full_log) const;
+
+  int checkpoints_taken() const { return taken_; }
+
+ private:
+  sim::SimClock* clock_;
+  WalManager* wal_;
+  storage::StorageDevice* device_;
+  Checkpoint latest_;
+  int taken_ = 0;
+};
+
+}  // namespace ecodb::txn
+
+#endif  // ECODB_TXN_CHECKPOINT_H_

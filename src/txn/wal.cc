@@ -1,0 +1,69 @@
+#include "txn/wal.h"
+
+#include <cassert>
+
+namespace ecodb::txn {
+
+WalManager::WalManager(WalConfig config, sim::SimClock* clock,
+                       storage::StorageDevice* log_device)
+    : config_(config), clock_(clock), device_(log_device) {
+  assert(config_.group_commit_size >= 1);
+}
+
+Lsn WalManager::Append(LogRecord record) {
+  record.lsn = next_lsn_++;
+  record.SerializeTo(&pending_);
+  ++stats_.records_appended;
+  return record.lsn;
+}
+
+double WalManager::Flush() {
+  if (pending_.empty()) return clock_->now();
+  const storage::IoResult io = device_->SubmitWrite(
+      clock_->now(), pending_.size(), /*sequential=*/true);
+  stats_.bytes_flushed += pending_.size();
+  ++stats_.flushes;
+  durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  pending_commits_ = 0;
+  return io.completion_time;
+}
+
+CommitResult WalManager::Commit(TxnId txn) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = LogRecordType::kCommit;
+  const Lsn lsn = Append(std::move(rec));
+  ++stats_.commits;
+  if (pending_commits_ == 0) {
+    oldest_pending_commit_time_ = clock_->now();
+  }
+  ++pending_commits_;
+  if (pending_commits_ >= config_.group_commit_size) {
+    const double durable_time = Flush();
+    return CommitResult{lsn, durable_time};
+  }
+  // Caller (scheduler) is responsible for driving FlushTimedOut(); until
+  // then the commit is durable at the *next* flush. We report the upper
+  // bound: oldest waiter + timeout.
+  return CommitResult{lsn,
+                      oldest_pending_commit_time_ +
+                          config_.group_commit_timeout_s};
+}
+
+bool WalManager::FlushTimedOut(double now) {
+  if (pending_commits_ == 0) return false;
+  if (now - oldest_pending_commit_time_ < config_.group_commit_timeout_s) {
+    return false;
+  }
+  Flush();
+  return true;
+}
+
+std::vector<uint8_t> WalManager::AllBytes() const {
+  std::vector<uint8_t> all = durable_;
+  all.insert(all.end(), pending_.begin(), pending_.end());
+  return all;
+}
+
+}  // namespace ecodb::txn

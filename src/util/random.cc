@@ -1,0 +1,116 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ecodb {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return static_cast<uint64_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  // Standard Zipfian via the Gray et al. "quick" method: draws rank with
+  // P(rank=i) proportional to 1/(i+1)^theta.
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = [&] {
+    // Approximate zeta(n, theta) with the integral bound; exact enough for
+    // workload skew purposes and O(1) instead of O(n).
+    const double nn = static_cast<double>(n);
+    return (std::pow(nn, 1.0 - theta) - 1.0) / (1.0 - theta) + 1.0;
+  }();
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - ((std::pow(2.0, 1.0 - theta) - 1.0) / (1.0 - theta) + 1.0) / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+std::string Rng::AlphaString(size_t len) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out(len, '\0');
+  for (auto& c : out) {
+    c = kAlphabet[Uniform(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+}  // namespace ecodb

@@ -1,0 +1,171 @@
+// Tests for checkpointing: image round-trips, log truncation, and restart
+// recovery from a checkpoint plus log suffix.
+
+#include <gtest/gtest.h>
+
+#include "power/energy_meter.h"
+#include "sim/clock.h"
+#include "storage/ssd.h"
+#include "txn/checkpoint.h"
+
+namespace ecodb::txn {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : meter_(&clock_),
+        log_device_("log", power::SsdSpec{}, &meter_),
+        data_device_("data", power::SsdSpec{}, &meter_),
+        wal_(WalConfig{1, 0.01}, &clock_, &log_device_),
+        checkpointer_(&clock_, &wal_, &data_device_) {}
+
+  // Applies an insert through forward processing and logs it.
+  void InsertRecord(TxnId txn, storage::PageId page,
+                    const std::string& payload) {
+    LogRecord rec;
+    rec.txn_id = txn;
+    rec.type = LogRecordType::kInsert;
+    rec.page = page;
+    auto slot = live_.GetOrCreate(page)->Insert(Bytes(payload));
+    ASSERT_TRUE(slot.ok());
+    rec.slot = *slot;
+    rec.after = Bytes(payload);
+    wal_.Append(std::move(rec));
+    wal_.Commit(txn);
+  }
+
+  sim::SimClock clock_;
+  power::EnergyMeter meter_;
+  storage::SsdDevice log_device_;
+  storage::SsdDevice data_device_;
+  WalManager wal_;
+  Checkpointer checkpointer_;
+  PageStore live_;
+};
+
+TEST_F(CheckpointTest, CaptureRestoreRoundTrip) {
+  InsertRecord(1, {1, 0}, "alpha");
+  InsertRecord(2, {1, 1}, "beta");
+  const Checkpoint cp = Checkpoint::Capture(live_, 42);
+  auto restored = cp.Restore();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(PageStore::Equal(live_, *restored));
+}
+
+TEST_F(CheckpointTest, RestoreDetectsTruncation) {
+  InsertRecord(1, {1, 0}, "alpha");
+  Checkpoint cp = Checkpoint::Capture(live_, 7);
+  cp.image.resize(cp.image.size() / 2);
+  EXPECT_FALSE(cp.Restore().ok());
+}
+
+TEST_F(CheckpointTest, RestoreDetectsLsnMismatch) {
+  Checkpoint cp = Checkpoint::Capture(live_, 7);
+  cp.lsn = 8;
+  EXPECT_FALSE(cp.Restore().ok());
+}
+
+TEST_F(CheckpointTest, EmptyStoreRoundTrips) {
+  const Checkpoint cp = Checkpoint::Capture(live_, 1);
+  auto restored = cp.Restore();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->page_count(), 0u);
+}
+
+TEST_F(CheckpointTest, TakeWritesImageAndFlushesLog) {
+  InsertRecord(1, {1, 0}, "alpha");
+  auto lsn = checkpointer_.Take(live_);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(*lsn, 0u);
+  EXPECT_EQ(checkpointer_.checkpoints_taken(), 1);
+  EXPECT_GT(meter_.ChannelBusySeconds(data_device_.channel()), 0.0);
+  // The log up to and including the marker is durable.
+  EXPECT_FALSE(wal_.durable_bytes().empty());
+}
+
+TEST_F(CheckpointTest, TruncatedLogDropsPrefix) {
+  InsertRecord(1, {1, 0}, "before-checkpoint");
+  ASSERT_TRUE(checkpointer_.Take(live_).ok());
+  InsertRecord(2, {1, 0}, "after-checkpoint");
+  wal_.Flush();
+
+  const std::vector<uint8_t> truncated =
+      checkpointer_.TruncatedLog(wal_.durable_bytes());
+  EXPECT_LT(truncated.size(), wal_.durable_bytes().size());
+  // The suffix parses and contains only txn 2's records.
+  size_t pos = 0;
+  int records = 0;
+  while (pos < truncated.size()) {
+    auto rec = LogRecord::Deserialize(truncated, &pos);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->txn_id, 2u);
+    ++records;
+  }
+  EXPECT_EQ(records, 2);  // insert + commit
+}
+
+TEST_F(CheckpointTest, NoCheckpointMeansFullLog) {
+  InsertRecord(1, {1, 0}, "x");
+  wal_.Flush();
+  EXPECT_EQ(checkpointer_.TruncatedLog(wal_.durable_bytes()).size(),
+            wal_.durable_bytes().size());
+}
+
+TEST_F(CheckpointTest, RecoverFromCheckpointPlusSuffixMatchesLive) {
+  InsertRecord(1, {1, 0}, "one");
+  InsertRecord(2, {2, 0}, "two");
+  ASSERT_TRUE(checkpointer_.Take(live_).ok());
+  InsertRecord(3, {1, 0}, "three");
+  InsertRecord(4, {3, 0}, "four");
+  wal_.Flush();
+
+  auto recovered = checkpointer_.Recover(wal_.durable_bytes());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(PageStore::Equal(live_, *recovered));
+}
+
+TEST_F(CheckpointTest, SecondCheckpointSupersedesFirst) {
+  InsertRecord(1, {1, 0}, "one");
+  ASSERT_TRUE(checkpointer_.Take(live_).ok());
+  InsertRecord(2, {1, 0}, "two");
+  ASSERT_TRUE(checkpointer_.Take(live_).ok());
+  InsertRecord(3, {1, 0}, "three");
+  wal_.Flush();
+
+  auto recovered = checkpointer_.Recover(wal_.durable_bytes());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(PageStore::Equal(live_, *recovered));
+  // Only txn 3 should need replay.
+  const std::vector<uint8_t> truncated =
+      checkpointer_.TruncatedLog(wal_.durable_bytes());
+  size_t pos = 0;
+  while (pos < truncated.size()) {
+    auto rec = LogRecord::Deserialize(truncated, &pos);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->txn_id, 3u);
+  }
+}
+
+TEST_F(CheckpointTest, RecoverWithTornSuffixStillConsistent) {
+  InsertRecord(1, {1, 0}, "committed");
+  ASSERT_TRUE(checkpointer_.Take(live_).ok());
+  InsertRecord(2, {1, 0}, "latest");
+  wal_.Flush();
+  std::vector<uint8_t> log = wal_.durable_bytes();
+  log.resize(log.size() - 5);  // tear the commit of txn 2
+
+  auto recovered = checkpointer_.Recover(log);
+  ASSERT_TRUE(recovered.ok());
+  // Txn 2 must have been rolled back; txn 1's record survives.
+  const storage::Page* page = recovered->Find({1, 0});
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->live_records(), 1);
+}
+
+}  // namespace
+}  // namespace ecodb::txn

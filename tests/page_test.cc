@@ -1,0 +1,231 @@
+// Tests for the slotted page: byte-level record management, compaction,
+// resurrection (undo), image round-trips, and a randomized shadow test
+// comparing the page against a reference model over thousands of ops.
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+#include "util/random.h"
+
+namespace ecodb::storage {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string AsString(std::span<const uint8_t> span) {
+  return std::string(span.begin(), span.end());
+}
+
+TEST(Page, FreshPageIsEmpty) {
+  Page page;
+  EXPECT_EQ(page.slot_count(), 0);
+  EXPECT_EQ(page.live_records(), 0);
+  EXPECT_GT(page.FreeSpace(), Page::kPageSize - 64);
+}
+
+TEST(Page, InsertAndGet) {
+  Page page;
+  auto slot = page.Insert(Bytes("hello"));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, 0);
+  auto rec = page.Get(*slot);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(AsString(*rec), "hello");
+  EXPECT_EQ(page.live_records(), 1);
+}
+
+TEST(Page, SlotsAssignedSequentially) {
+  Page page;
+  EXPECT_EQ(*page.Insert(Bytes("a")), 0);
+  EXPECT_EQ(*page.Insert(Bytes("b")), 1);
+  EXPECT_EQ(*page.Insert(Bytes("c")), 2);
+  EXPECT_EQ(AsString(*page.Get(1)), "b");
+}
+
+TEST(Page, EmptyRecordSupported) {
+  Page page;
+  auto slot = page.Insert({});
+  ASSERT_TRUE(slot.ok());
+  auto rec = page.Get(*slot);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 0u);
+}
+
+TEST(Page, EraseTombstones) {
+  Page page;
+  const uint16_t slot = *page.Insert(Bytes("dead"));
+  ASSERT_TRUE(page.Erase(slot).ok());
+  EXPECT_EQ(page.live_records(), 0);
+  EXPECT_EQ(page.Get(slot).status().code(), StatusCode::kNotFound);
+  // Double erase fails.
+  EXPECT_EQ(page.Erase(slot).code(), StatusCode::kNotFound);
+}
+
+TEST(Page, EraseOutOfRangeFails) {
+  Page page;
+  EXPECT_EQ(page.Erase(5).code(), StatusCode::kNotFound);
+}
+
+TEST(Page, UpdateInPlaceShrink) {
+  Page page;
+  const uint16_t slot = *page.Insert(Bytes("long record here"));
+  ASSERT_TRUE(page.Update(slot, Bytes("short")).ok());
+  EXPECT_EQ(AsString(*page.Get(slot)), "short");
+}
+
+TEST(Page, UpdateGrowRelocates) {
+  Page page;
+  const uint16_t a = *page.Insert(Bytes("aa"));
+  const uint16_t b = *page.Insert(Bytes("bb"));
+  ASSERT_TRUE(page.Update(a, Bytes("a much longer record value")).ok());
+  EXPECT_EQ(AsString(*page.Get(a)), "a much longer record value");
+  EXPECT_EQ(AsString(*page.Get(b)), "bb");
+}
+
+TEST(Page, UpdateTombstonedFails) {
+  Page page;
+  const uint16_t slot = *page.Insert(Bytes("x"));
+  ASSERT_TRUE(page.Erase(slot).ok());
+  EXPECT_EQ(page.Update(slot, Bytes("y")).code(), StatusCode::kNotFound);
+}
+
+TEST(Page, FillUntilFull) {
+  Page page;
+  const std::vector<uint8_t> rec(100, 0xab);
+  int inserted = 0;
+  while (true) {
+    auto slot = page.Insert(rec);
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++inserted;
+  }
+  // 8192 / (100 + 4) ~ 78 records.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 82);
+  EXPECT_EQ(page.live_records(), inserted);
+}
+
+TEST(Page, CompactReclaimsDeadSpace) {
+  Page page;
+  std::vector<uint16_t> slots;
+  const std::vector<uint8_t> rec(200, 0x11);
+  while (true) {
+    auto slot = page.Insert(rec);
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  // Erase every other record, compact, and verify we can insert again.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Erase(slots[i]).ok());
+  }
+  EXPECT_FALSE(page.Insert(std::vector<uint8_t>(600, 0x22)).ok());
+  page.Compact();
+  EXPECT_TRUE(page.Insert(std::vector<uint8_t>(600, 0x22)).ok());
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    auto r = page.Get(slots[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], 0x11);
+    EXPECT_EQ(r->size(), 200u);
+  }
+}
+
+TEST(Page, ResurrectRestoresTombstonedSlot) {
+  Page page;
+  const uint16_t slot = *page.Insert(Bytes("original"));
+  ASSERT_TRUE(page.Erase(slot).ok());
+  ASSERT_TRUE(page.Resurrect(slot, Bytes("original")).ok());
+  EXPECT_EQ(AsString(*page.Get(slot)), "original");
+  EXPECT_EQ(page.live_records(), 1);
+}
+
+TEST(Page, ResurrectLiveSlotFails) {
+  Page page;
+  const uint16_t slot = *page.Insert(Bytes("alive"));
+  EXPECT_EQ(page.Resurrect(slot, Bytes("x")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Page, ImageRoundTrip) {
+  Page page;
+  page.Insert(Bytes("alpha"));
+  page.Insert(Bytes("beta"));
+  page.Erase(0);
+  auto restored = Page::FromImage(page.image());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->slot_count(), 2);
+  EXPECT_EQ(restored->live_records(), 1);
+  EXPECT_EQ(AsString(*restored->Get(1)), "beta");
+  EXPECT_FALSE(restored->Get(0).ok());
+}
+
+TEST(Page, FromImageRejectsWrongSize) {
+  EXPECT_FALSE(Page::FromImage(std::vector<uint8_t>(100)).ok());
+}
+
+TEST(Page, FromImageRejectsCorruptHeader) {
+  Page page;
+  std::vector<uint8_t> image = page.image();
+  image[0] = 0xff;  // slot_count = huge
+  image[1] = 0xff;
+  EXPECT_FALSE(Page::FromImage(image).ok());
+}
+
+// Randomized shadow test: the page must agree with a std::map reference
+// model across a long interleaving of inserts, erases, updates, and
+// compactions.
+TEST(Page, RandomizedShadowModel) {
+  Rng rng(2024);
+  Page page;
+  std::map<uint16_t, std::string> model;
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(0, 9));
+    if (op <= 4) {  // insert
+      const std::string payload =
+          rng.AlphaString(static_cast<size_t>(rng.Uniform(0, 60)));
+      auto slot = page.Insert(Bytes(payload));
+      if (slot.ok()) {
+        model[*slot] = payload;
+      }
+    } else if (op <= 6 && !model.empty()) {  // erase random live slot
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      ASSERT_TRUE(page.Erase(it->first).ok());
+      model.erase(it);
+    } else if (op == 7 && !model.empty()) {  // update random live slot
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      const std::string payload =
+          rng.AlphaString(static_cast<size_t>(rng.Uniform(0, 80)));
+      if (page.Update(it->first, Bytes(payload)).ok()) {
+        it->second = payload;
+      }
+    } else if (op == 8) {
+      page.Compact();
+    } else if (op == 9) {  // image round trip
+      auto restored = Page::FromImage(page.image());
+      ASSERT_TRUE(restored.ok());
+      page = std::move(restored).value();
+    }
+    // Periodic full verification.
+    if (step % 500 == 499) {
+      EXPECT_EQ(page.live_records(), model.size());
+      for (const auto& [slot, payload] : model) {
+        auto rec = page.Get(slot);
+        ASSERT_TRUE(rec.ok()) << "slot " << slot;
+        EXPECT_EQ(AsString(*rec), payload);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecodb::storage

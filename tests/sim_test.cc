@@ -1,0 +1,147 @@
+// Tests for the simulated clock and discrete-event queue.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+
+namespace ecodb::sim {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(1.5);
+  clock.Advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+TEST(SimClock, AdvanceToNeverMovesBackward) {
+  SimClock clock;
+  clock.AdvanceTo(10.0);
+  clock.AdvanceTo(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(SimClock, ResetReturnsToZero) {
+  SimClock clock;
+  clock.Advance(3.0);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0.0);
+}
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int ran = 0;
+  q.ScheduleAt(1.0, [&] { ++ran; });
+  q.ScheduleAt(5.0, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.RunUntil(10.0), 1u);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  SimClock clock;
+  EventQueue q(&clock);
+  double seen = -1;
+  q.ScheduleAt(4.25, [&] { seen = clock.now(); });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(seen, 4.25);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int ran = 0;
+  const uint64_t id = q.ScheduleAt(1.0, [&] { ++ran; });
+  EXPECT_TRUE(q.Cancel(id));
+  q.RunAll();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueue, CancelUnknownReturnsFalse) {
+  SimClock clock;
+  EventQueue q(&clock);
+  EXPECT_FALSE(q.Cancel(999));
+  EXPECT_FALSE(q.Cancel(0));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  SimClock clock;
+  EventQueue q(&clock);
+  const uint64_t id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<double> times;
+  q.ScheduleAt(1.0, [&] {
+    times.push_back(clock.now());
+    q.ScheduleAfter(2.0, [&] { times.push_back(clock.now()); });
+  });
+  q.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  SimClock clock;
+  clock.Advance(10.0);
+  EventQueue q(&clock);
+  double fired = 0;
+  q.ScheduleAfter(1.5, [&] { fired = clock.now(); });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired, 11.5);
+}
+
+TEST(EventQueue, PendingCountTracksCancellations) {
+  SimClock clock;
+  EventQueue q(&clock);
+  const uint64_t a = q.ScheduleAt(1.0, [] {});
+  q.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.RunAll();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace ecodb::sim

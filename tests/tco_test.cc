@@ -1,0 +1,114 @@
+// Tests for the TCO model: the Section 5.3 overdrive-vs-parallelize
+// decision and its energy-price crossover.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "advisor/tco.h"
+
+namespace ecodb::advisor {
+namespace {
+
+// An overdriven box: past the efficiency knee, performance per watt is
+// poor but hardware is consolidated.
+NodeConfig Overdriven() {
+  NodeConfig n;
+  n.name = "overdriven";
+  n.hardware_cost_usd = 30000.0;
+  n.avg_watts = 3000.0;
+  n.perf_units = 100.0;
+  return n;
+}
+
+// An efficient-point node: half the throughput at a fifth of the power.
+NodeConfig Efficient() {
+  NodeConfig n;
+  n.name = "efficient";
+  n.hardware_cost_usd = 20000.0;
+  n.avg_watts = 600.0;
+  n.perf_units = 50.0;
+  return n;
+}
+
+TEST(Tco, ComputeTcoArithmetic) {
+  TcoParams params;
+  params.energy_price_usd_per_kwh = 0.10;
+  params.cooling_watts_per_watt = 0.5;
+  params.amortization_years = 1.0;
+  NodeConfig node;
+  node.hardware_cost_usd = 1000.0;
+  node.avg_watts = 1000.0;  // 1 kW IT -> 1.5 kW wall
+  node.perf_units = 10.0;
+  const TcoReport r = ComputeTco(node, params, 2);
+  EXPECT_EQ(r.nodes, 2);
+  EXPECT_DOUBLE_EQ(r.hardware_usd, 2000.0);
+  // 2 nodes * 1.5 kW * 8766 h * $0.10 = $2629.8.
+  EXPECT_NEAR(r.energy_usd, 2.0 * 1.5 * 365.25 * 24 * 0.10, 1e-6);
+  EXPECT_NEAR(r.total_usd, r.hardware_usd + r.energy_usd, 1e-9);
+  EXPECT_NEAR(r.usd_per_perf_unit, r.total_usd / 20.0, 1e-9);
+}
+
+TEST(Tco, ZeroEnergyPriceFavorsCheapHardware) {
+  TcoParams params;
+  params.energy_price_usd_per_kwh = 0.0;
+  const ScalingDecision d = DecideScaling(100.0, Overdriven(), Efficient(),
+                                          params);
+  // 1 overdriven node ($30k) vs 2 efficient nodes ($40k).
+  EXPECT_FALSE(d.parallelize_wins);
+  EXPECT_EQ(d.overdrive.nodes, 1);
+  EXPECT_EQ(d.parallelize.nodes, 2);
+}
+
+TEST(Tco, HighEnergyPriceFavorsParallelizing) {
+  TcoParams params;
+  params.energy_price_usd_per_kwh = 0.50;
+  const ScalingDecision d = DecideScaling(100.0, Overdriven(), Efficient(),
+                                          params);
+  // Energy: 3 kW vs 1.2 kW wall-adjusted over 3 years dominates the $10k
+  // hardware gap.
+  EXPECT_TRUE(d.parallelize_wins);
+}
+
+TEST(Tco, CrossoverPriceSeparatesTheRegimes) {
+  TcoParams params;
+  const double crossover =
+      EnergyPriceCrossover(100.0, Overdriven(), Efficient(), params);
+  ASSERT_GT(crossover, 0.0);
+  ASSERT_TRUE(std::isfinite(crossover));
+
+  params.energy_price_usd_per_kwh = crossover * 0.9;
+  EXPECT_FALSE(DecideScaling(100.0, Overdriven(), Efficient(), params)
+                   .parallelize_wins);
+  params.energy_price_usd_per_kwh = crossover * 1.1;
+  EXPECT_TRUE(DecideScaling(100.0, Overdriven(), Efficient(), params)
+                  .parallelize_wins);
+}
+
+TEST(Tco, ParallelizeAlreadyCheaperOnHardware) {
+  NodeConfig cheap_efficient = Efficient();
+  cheap_efficient.hardware_cost_usd = 10000.0;  // 2 x $10k < $30k
+  const double crossover = EnergyPriceCrossover(100.0, Overdriven(),
+                                                cheap_efficient, TcoParams{});
+  EXPECT_LT(crossover, 0.0);
+}
+
+TEST(Tco, NeverCatchesUpWhenParallelUsesMoreEnergy) {
+  NodeConfig hog = Efficient();
+  hog.avg_watts = 5000.0;  // parallel option burns more power too
+  const double crossover =
+      EnergyPriceCrossover(100.0, Overdriven(), hog, TcoParams{});
+  EXPECT_TRUE(std::isinf(crossover));
+}
+
+TEST(Tco, CeilingNodeCounts) {
+  TcoParams params;
+  // Target 130 units: 2 overdriven (100 each) vs 3 efficient (50 each).
+  const ScalingDecision d = DecideScaling(130.0, Overdriven(), Efficient(),
+                                          params);
+  EXPECT_EQ(d.overdrive.nodes, 2);
+  EXPECT_EQ(d.parallelize.nodes, 3);
+}
+
+}  // namespace
+}  // namespace ecodb::advisor

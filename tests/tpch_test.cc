@@ -1,0 +1,188 @@
+// Tests for the TPC-H-like generator and the throughput-test workload.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "power/platform.h"
+#include "storage/ssd.h"
+#include "tpch/generator.h"
+#include "tpch/workload.h"
+
+namespace ecodb::tpch {
+namespace {
+
+TpchConfig SmallConfig() {
+  TpchConfig config;
+  config.scale_factor = 0.2;  // 3000 orders, ~12000 lineitems
+  return config;
+}
+
+TEST(TpchGenerator, SchemasHaveExpectedShape) {
+  EXPECT_EQ(OrdersSchema().num_columns(), 7);  // the [HLA+06] 7-attr ORDERS
+  EXPECT_EQ(LineitemSchema().num_columns(), 8);
+  EXPECT_GE(OrdersSchema().FindColumn("o_orderkey"), 0);
+  EXPECT_GE(LineitemSchema().FindColumn("l_shipdate"), 0);
+}
+
+TEST(TpchGenerator, DeterministicAcrossCalls) {
+  const auto a = GenerateOrders(SmallConfig());
+  const auto b = GenerateOrders(SmallConfig());
+  EXPECT_EQ(a[0].i64, b[0].i64);
+  EXPECT_EQ(a[3].f64, b[3].f64);
+  EXPECT_EQ(a[5].str, b[5].str);
+}
+
+TEST(TpchGenerator, SeedChangesData) {
+  TpchConfig other = SmallConfig();
+  other.seed = 999;
+  const auto a = GenerateOrders(SmallConfig());
+  const auto b = GenerateOrders(other);
+  EXPECT_NE(a[1].i64, b[1].i64);  // custkeys differ
+  EXPECT_EQ(a[0].i64, b[0].i64);  // orderkeys are structural (1..n)
+}
+
+TEST(TpchGenerator, OrdersValueRanges) {
+  const auto cols = GenerateOrders(SmallConfig());
+  const size_t n = cols[0].i64.size();
+  EXPECT_EQ(n, 3000u);
+  std::set<std::string> statuses(cols[2].str.begin(), cols[2].str.end());
+  EXPECT_LE(statuses.size(), 3u);
+  std::set<std::string> priorities(cols[5].str.begin(), cols[5].str.end());
+  EXPECT_LE(priorities.size(), 5u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(cols[0].i64[i], static_cast<int64_t>(i + 1));
+    EXPECT_GE(cols[3].f64[i], 850.0);
+    EXPECT_GE(cols[4].i64[i], kDateEpochStart);
+    EXPECT_LT(cols[4].i64[i], kDateEpochStart + kDateRangeDays);
+    EXPECT_EQ(cols[6].i64[i], 0);  // o_shippriority constant
+  }
+}
+
+TEST(TpchGenerator, LineitemReferencesOrders) {
+  const auto lines = GenerateLineitem(SmallConfig());
+  const size_t orders = 3000;
+  for (int64_t key : lines[0].i64) {
+    EXPECT_GE(key, 1);
+    EXPECT_LE(key, static_cast<int64_t>(orders));
+  }
+  // Roughly lineitems_per_order lines per order.
+  const double ratio =
+      static_cast<double>(lines[0].i64.size()) / static_cast<double>(orders);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(TpchGenerator, DiscountsWithinTpchRange) {
+  const auto lines = GenerateLineitem(SmallConfig());
+  for (double d : lines[5].f64) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10 + 1e-12);
+  }
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : platform_(power::MakeFlashScanPlatform()) {
+    ssd_ = std::make_unique<storage::SsdDevice>("ssd", power::SsdSpec{},
+                                                platform_->meter());
+    auto orders = LoadOrders(SmallConfig(), 1, storage::TableLayout::kColumn,
+                             ssd_.get());
+    auto lineitem = LoadLineitem(SmallConfig(), 2,
+                                 storage::TableLayout::kColumn, ssd_.get());
+    EXPECT_TRUE(orders.ok());
+    EXPECT_TRUE(lineitem.ok());
+    orders_ = std::move(orders).value();
+    lineitem_ = std::move(lineitem).value();
+  }
+
+  std::unique_ptr<power::HardwarePlatform> platform_;
+  std::unique_ptr<storage::SsdDevice> ssd_;
+  std::unique_ptr<storage::TableStorage> orders_;
+  std::unique_ptr<storage::TableStorage> lineitem_;
+};
+
+TEST_F(WorkloadTest, PricingSummaryGroupsByReturnFlag) {
+  auto q = MakePricingSummaryQuery(lineitem_.get(),
+                                   kDateEpochStart + kDateRangeDays);
+  exec::ExecContext ctx(platform_.get(), exec::ExecOptions{});
+  auto result = exec::CollectAll(q.get(), &ctx);
+  ctx.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->TotalRows(), 3u);  // R / A / N
+  EXPECT_GE(result->TotalRows(), 2u);
+  // count_order column sums to total lineitems (cutoff covers everything).
+  int64_t total = 0;
+  const int count_col = result->schema.FindColumn("count_order");
+  ASSERT_GE(count_col, 0);
+  for (const auto& batch : result->batches) {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      total += batch.GetValue(r, count_col).i64;
+    }
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(lineitem_->row_count()));
+}
+
+TEST_F(WorkloadTest, RevenueQueryReturnsOneRow) {
+  auto q = MakeRevenueQuery(lineitem_.get(), kDateEpochStart,
+                            kDateEpochStart + 365, 0.02, 0.09, 25.0);
+  exec::ExecContext ctx(platform_.get(), exec::ExecOptions{});
+  auto result = exec::CollectAll(q.get(), &ctx);
+  ctx.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->TotalRows(), 1u);
+  EXPECT_GT(result->batches[0].GetValue(0, 0).f64, 0.0);
+}
+
+TEST_F(WorkloadTest, OrderRevenueJoinProducesShipPriorityGroups) {
+  auto q = MakeOrderRevenueQuery(orders_.get(), lineitem_.get(),
+                                 kDateEpochStart + kDateRangeDays);
+  exec::ExecContext ctx(platform_.get(), exec::ExecOptions{});
+  auto result = exec::CollectAll(q.get(), &ctx);
+  ctx.Finish();
+  ASSERT_TRUE(result.ok());
+  // o_shippriority is constant 0 -> exactly one group covering all rows.
+  ASSERT_EQ(result->TotalRows(), 1u);
+  const int count_col = result->schema.FindColumn("count_items");
+  EXPECT_EQ(result->batches[0].GetValue(0, count_col).i64,
+            static_cast<int64_t>(lineitem_->row_count()));
+}
+
+TEST_F(WorkloadTest, ThroughputStreamHasThreeQueries) {
+  auto stream = MakeThroughputStream(orders_.get(), lineitem_.get(), 0);
+  EXPECT_EQ(stream.size(), 3u);
+}
+
+TEST_F(WorkloadTest, ThroughputTestAccountsTimeAndEnergy) {
+  auto result = RunThroughputTest(platform_.get(), orders_.get(),
+                                  lineitem_.get(), 2, exec::ExecOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries_completed, 6);
+  EXPECT_GT(result->elapsed_seconds, 0.0);
+  EXPECT_GT(result->joules, 0.0);
+  EXPECT_GT(result->QueriesPerHour(), 0.0);
+  EXPECT_GT(result->EnergyEfficiency(), 0.0);
+}
+
+TEST_F(WorkloadTest, StreamsVaryParameters) {
+  // Different stream indexes must produce different revenue answers
+  // (the TPC-H substitution-parameter idea).
+  auto q0 = MakeRevenueQuery(lineitem_.get(), kDateEpochStart,
+                             kDateEpochStart + 365, 0.02, 0.09, 25.0);
+  auto q1 = MakeRevenueQuery(lineitem_.get(), kDateEpochStart + 365,
+                             kDateEpochStart + 730, 0.02, 0.09, 25.0);
+  exec::ExecContext c0(platform_.get(), exec::ExecOptions{});
+  auto r0 = exec::CollectAll(q0.get(), &c0);
+  c0.Finish();
+  exec::ExecContext c1(platform_.get(), exec::ExecOptions{});
+  auto r1 = exec::CollectAll(q1.get(), &c1);
+  c1.Finish();
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NE(r0->batches[0].GetValue(0, 0).f64,
+            r1->batches[0].GetValue(0, 0).f64);
+}
+
+}  // namespace
+}  // namespace ecodb::tpch

@@ -1,0 +1,304 @@
+// Tests for util: Status/StatusOr, deterministic RNG, histograms, units.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace ecodb {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(Status, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("").code(), StatusCode::kDataLoss);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  ECODB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  ECODB_RETURN_IF_ERROR(Status::OK());
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(StatusOr, AssignOrReturnMacroPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UseMacros(-1, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(9, 9), 9);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.Zipf(100, 0.8), 100u);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) low += (rng.Zipf(1000, 0.9) < 10);
+  // With theta=0.9, the top-10 ranks should take far more than 1% of mass.
+  EXPECT_GT(low, n / 20);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform) {
+  Rng rng(17);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) low += (rng.Zipf(1000, 0.0) < 100);
+  EXPECT_NEAR(low / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Gaussian(10.0, 3.0));
+  EXPECT_NEAR(stat.Mean(), 10.0, 0.1);
+  EXPECT_NEAR(stat.Stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, AlphaStringLengthAndCharset) {
+  Rng rng(23);
+  const std::string s = rng.AlphaString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, TracksMinMaxMean) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(i * 0.001);  // 0.001 .. 10
+  EXPECT_NEAR(h.Percentile(0.5), 5.0, 5.0 * 0.10);
+  EXPECT_NEAR(h.Percentile(0.95), 9.5, 9.5 * 0.10);
+  EXPECT_NEAR(h.Percentile(0.99), 9.9, 9.9 * 0.10);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(RunningStat, VarianceOfConstantIsZero) {
+  RunningStat s;
+  for (int i = 0; i < 10; ++i) s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSample) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 4.571428, 1e-5);  // sample variance
+}
+
+// --- Units ------------------------------------------------------------------
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5 * kGiB), "5.00 GiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.300 ms");
+  EXPECT_EQ(FormatSeconds(45e-6), "45.000 us");
+  EXPECT_EQ(FormatSeconds(3e-9), "3.000 ns");
+}
+
+TEST(Units, FormatJoules) {
+  EXPECT_EQ(FormatJoules(338.0), "338.00 J");
+  EXPECT_EQ(FormatJoules(1500.0), "1.500 kJ");
+  EXPECT_EQ(FormatJoules(0.25), "250.000 mJ");
+  EXPECT_EQ(FormatJoules(2.5e6), "2.500 MJ");
+}
+
+}  // namespace
+}  // namespace ecodb
