@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_buffer_policy.dir/ablate_buffer_policy.cc.o"
+  "CMakeFiles/ablate_buffer_policy.dir/ablate_buffer_policy.cc.o.d"
+  "ablate_buffer_policy"
+  "ablate_buffer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_buffer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

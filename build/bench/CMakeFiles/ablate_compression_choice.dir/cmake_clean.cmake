@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_compression_choice.dir/ablate_compression_choice.cc.o"
+  "CMakeFiles/ablate_compression_choice.dir/ablate_compression_choice.cc.o.d"
+  "ablate_compression_choice"
+  "ablate_compression_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_compression_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_consolidation.dir/ablate_consolidation.cc.o"
+  "CMakeFiles/ablate_consolidation.dir/ablate_consolidation.cc.o.d"
+  "ablate_consolidation"
+  "ablate_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

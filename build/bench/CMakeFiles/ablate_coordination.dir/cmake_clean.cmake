@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_coordination.dir/ablate_coordination.cc.o"
+  "CMakeFiles/ablate_coordination.dir/ablate_coordination.cc.o.d"
+  "ablate_coordination"
+  "ablate_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

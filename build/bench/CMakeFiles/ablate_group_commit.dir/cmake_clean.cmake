@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_group_commit.dir/ablate_group_commit.cc.o"
+  "CMakeFiles/ablate_group_commit.dir/ablate_group_commit.cc.o.d"
+  "ablate_group_commit"
+  "ablate_group_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_group_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_index_crossover.dir/ablate_index_crossover.cc.o"
+  "CMakeFiles/ablate_index_crossover.dir/ablate_index_crossover.cc.o.d"
+  "ablate_index_crossover"
+  "ablate_index_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_index_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

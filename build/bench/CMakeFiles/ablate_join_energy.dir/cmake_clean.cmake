@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_join_energy.dir/ablate_join_energy.cc.o"
+  "CMakeFiles/ablate_join_energy.dir/ablate_join_energy.cc.o.d"
+  "ablate_join_energy"
+  "ablate_join_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_join_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_layout.dir/ablate_layout.cc.o"
+  "CMakeFiles/ablate_layout.dir/ablate_layout.cc.o.d"
+  "ablate_layout"
+  "ablate_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

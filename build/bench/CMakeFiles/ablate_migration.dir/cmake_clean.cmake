@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_migration.dir/ablate_migration.cc.o"
+  "CMakeFiles/ablate_migration.dir/ablate_migration.cc.o.d"
+  "ablate_migration"
+  "ablate_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_proportionality.dir/ablate_proportionality.cc.o"
+  "CMakeFiles/ablate_proportionality.dir/ablate_proportionality.cc.o.d"
+  "ablate_proportionality"
+  "ablate_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tco.dir/ablate_tco.cc.o"
+  "CMakeFiles/ablate_tco.dir/ablate_tco.cc.o.d"
+  "ablate_tco"
+  "ablate_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_zone_maps.dir/ablate_zone_maps.cc.o"
+  "CMakeFiles/ablate_zone_maps.dir/ablate_zone_maps.cc.o.d"
+  "ablate_zone_maps"
+  "ablate_zone_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_zone_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_diminishing_returns.dir/fig1_diminishing_returns.cc.o"
+  "CMakeFiles/fig1_diminishing_returns.dir/fig1_diminishing_returns.cc.o.d"
+  "fig1_diminishing_returns"
+  "fig1_diminishing_returns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_diminishing_returns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joulesort.dir/joulesort.cc.o"
+  "CMakeFiles/joulesort.dir/joulesort.cc.o.d"
+  "joulesort"
+  "joulesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joulesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for joulesort.
+# This may be replaced when dependencies are built.

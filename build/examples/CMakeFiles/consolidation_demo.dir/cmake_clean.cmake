@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_demo.dir/consolidation_demo.cpp.o"
+  "CMakeFiles/consolidation_demo.dir/consolidation_demo.cpp.o.d"
+  "consolidation_demo"
+  "consolidation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_optimizer.dir/energy_aware_optimizer.cpp.o"
+  "CMakeFiles/energy_aware_optimizer.dir/energy_aware_optimizer.cpp.o.d"
+  "energy_aware_optimizer"
+  "energy_aware_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("power")
+subdirs("storage")
+subdirs("catalog")
+subdirs("txn")
+subdirs("exec")
+subdirs("optimizer")
+subdirs("sched")
+subdirs("advisor")
+subdirs("tpch")
+subdirs("core")

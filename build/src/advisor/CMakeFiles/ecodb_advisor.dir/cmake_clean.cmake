@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_advisor.dir/design_advisor.cc.o"
+  "CMakeFiles/ecodb_advisor.dir/design_advisor.cc.o.d"
+  "CMakeFiles/ecodb_advisor.dir/tco.cc.o"
+  "CMakeFiles/ecodb_advisor.dir/tco.cc.o.d"
+  "libecodb_advisor.a"
+  "libecodb_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

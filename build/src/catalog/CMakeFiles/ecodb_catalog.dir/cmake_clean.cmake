@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ecodb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/ecodb_catalog.dir/schema.cc.o"
+  "CMakeFiles/ecodb_catalog.dir/schema.cc.o.d"
+  "libecodb_catalog.a"
+  "libecodb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

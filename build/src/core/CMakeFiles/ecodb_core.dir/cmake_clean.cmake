@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_core.dir/ecodb.cc.o"
+  "CMakeFiles/ecodb_core.dir/ecodb.cc.o.d"
+  "libecodb_core.a"
+  "libecodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

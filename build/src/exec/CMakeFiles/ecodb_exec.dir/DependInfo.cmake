@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/ecodb_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/batch.cc" "src/exec/CMakeFiles/ecodb_exec.dir/batch.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/batch.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/exec/CMakeFiles/ecodb_exec.dir/exec_context.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/exec_context.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/ecodb_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/filter_project.cc" "src/exec/CMakeFiles/ecodb_exec.dir/filter_project.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/filter_project.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/exec/CMakeFiles/ecodb_exec.dir/index_scan.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/index_scan.cc.o.d"
+  "/root/repo/src/exec/joins.cc" "src/exec/CMakeFiles/ecodb_exec.dir/joins.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/joins.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/ecodb_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/scan.cc.o.d"
+  "/root/repo/src/exec/sort_limit.cc" "src/exec/CMakeFiles/ecodb_exec.dir/sort_limit.cc.o" "gcc" "src/exec/CMakeFiles/ecodb_exec.dir/sort_limit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ecodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecodb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ecodb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_exec.dir/aggregate.cc.o"
+  "CMakeFiles/ecodb_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/batch.cc.o"
+  "CMakeFiles/ecodb_exec.dir/batch.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/exec_context.cc.o"
+  "CMakeFiles/ecodb_exec.dir/exec_context.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/expr.cc.o"
+  "CMakeFiles/ecodb_exec.dir/expr.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/filter_project.cc.o"
+  "CMakeFiles/ecodb_exec.dir/filter_project.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/index_scan.cc.o"
+  "CMakeFiles/ecodb_exec.dir/index_scan.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/joins.cc.o"
+  "CMakeFiles/ecodb_exec.dir/joins.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/scan.cc.o"
+  "CMakeFiles/ecodb_exec.dir/scan.cc.o.d"
+  "CMakeFiles/ecodb_exec.dir/sort_limit.cc.o"
+  "CMakeFiles/ecodb_exec.dir/sort_limit.cc.o.d"
+  "libecodb_exec.a"
+  "libecodb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

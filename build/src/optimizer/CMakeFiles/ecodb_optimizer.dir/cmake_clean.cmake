@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/ecodb_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/ecodb_optimizer.dir/planner.cc.o"
+  "CMakeFiles/ecodb_optimizer.dir/planner.cc.o.d"
+  "libecodb_optimizer.a"
+  "libecodb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cpu_power.cc" "src/power/CMakeFiles/ecodb_power.dir/cpu_power.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/cpu_power.cc.o.d"
+  "/root/repo/src/power/device_power.cc" "src/power/CMakeFiles/ecodb_power.dir/device_power.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/device_power.cc.o.d"
+  "/root/repo/src/power/energy_meter.cc" "src/power/CMakeFiles/ecodb_power.dir/energy_meter.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/energy_meter.cc.o.d"
+  "/root/repo/src/power/governor.cc" "src/power/CMakeFiles/ecodb_power.dir/governor.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/governor.cc.o.d"
+  "/root/repo/src/power/platform.cc" "src/power/CMakeFiles/ecodb_power.dir/platform.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/platform.cc.o.d"
+  "/root/repo/src/power/proportionality.cc" "src/power/CMakeFiles/ecodb_power.dir/proportionality.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/proportionality.cc.o.d"
+  "/root/repo/src/power/rapl.cc" "src/power/CMakeFiles/ecodb_power.dir/rapl.cc.o" "gcc" "src/power/CMakeFiles/ecodb_power.dir/rapl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

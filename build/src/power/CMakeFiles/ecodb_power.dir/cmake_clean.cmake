@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_power.dir/cpu_power.cc.o"
+  "CMakeFiles/ecodb_power.dir/cpu_power.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/device_power.cc.o"
+  "CMakeFiles/ecodb_power.dir/device_power.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/energy_meter.cc.o"
+  "CMakeFiles/ecodb_power.dir/energy_meter.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/governor.cc.o"
+  "CMakeFiles/ecodb_power.dir/governor.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/platform.cc.o"
+  "CMakeFiles/ecodb_power.dir/platform.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/proportionality.cc.o"
+  "CMakeFiles/ecodb_power.dir/proportionality.cc.o.d"
+  "CMakeFiles/ecodb_power.dir/rapl.cc.o"
+  "CMakeFiles/ecodb_power.dir/rapl.cc.o.d"
+  "libecodb_power.a"
+  "libecodb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batching.cc" "src/sched/CMakeFiles/ecodb_sched.dir/batching.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/batching.cc.o.d"
+  "/root/repo/src/sched/cluster.cc" "src/sched/CMakeFiles/ecodb_sched.dir/cluster.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/cluster.cc.o.d"
+  "/root/repo/src/sched/consolidation.cc" "src/sched/CMakeFiles/ecodb_sched.dir/consolidation.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/consolidation.cc.o.d"
+  "/root/repo/src/sched/prefetcher.cc" "src/sched/CMakeFiles/ecodb_sched.dir/prefetcher.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/prefetcher.cc.o.d"
+  "/root/repo/src/sched/shared_scan.cc" "src/sched/CMakeFiles/ecodb_sched.dir/shared_scan.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/shared_scan.cc.o.d"
+  "/root/repo/src/sched/spin_down.cc" "src/sched/CMakeFiles/ecodb_sched.dir/spin_down.cc.o" "gcc" "src/sched/CMakeFiles/ecodb_sched.dir/spin_down.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ecodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecodb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ecodb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_sched.dir/batching.cc.o"
+  "CMakeFiles/ecodb_sched.dir/batching.cc.o.d"
+  "CMakeFiles/ecodb_sched.dir/cluster.cc.o"
+  "CMakeFiles/ecodb_sched.dir/cluster.cc.o.d"
+  "CMakeFiles/ecodb_sched.dir/consolidation.cc.o"
+  "CMakeFiles/ecodb_sched.dir/consolidation.cc.o.d"
+  "CMakeFiles/ecodb_sched.dir/prefetcher.cc.o"
+  "CMakeFiles/ecodb_sched.dir/prefetcher.cc.o.d"
+  "CMakeFiles/ecodb_sched.dir/shared_scan.cc.o"
+  "CMakeFiles/ecodb_sched.dir/shared_scan.cc.o.d"
+  "CMakeFiles/ecodb_sched.dir/spin_down.cc.o"
+  "CMakeFiles/ecodb_sched.dir/spin_down.cc.o.d"
+  "libecodb_sched.a"
+  "libecodb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

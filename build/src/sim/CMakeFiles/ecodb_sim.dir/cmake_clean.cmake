@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ecodb_sim.dir/event_queue.cc.o.d"
+  "libecodb_sim.a"
+  "libecodb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecodb_sim.a"
+)

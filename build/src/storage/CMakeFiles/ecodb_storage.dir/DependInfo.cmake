@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/ecodb_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/ecodb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/compression.cc" "src/storage/CMakeFiles/ecodb_storage.dir/compression.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/compression.cc.o.d"
+  "/root/repo/src/storage/disk_array.cc" "src/storage/CMakeFiles/ecodb_storage.dir/disk_array.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/disk_array.cc.o.d"
+  "/root/repo/src/storage/hdd.cc" "src/storage/CMakeFiles/ecodb_storage.dir/hdd.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/hdd.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/ecodb_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/remote.cc" "src/storage/CMakeFiles/ecodb_storage.dir/remote.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/remote.cc.o.d"
+  "/root/repo/src/storage/ssd.cc" "src/storage/CMakeFiles/ecodb_storage.dir/ssd.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/ssd.cc.o.d"
+  "/root/repo/src/storage/table_storage.cc" "src/storage/CMakeFiles/ecodb_storage.dir/table_storage.cc.o" "gcc" "src/storage/CMakeFiles/ecodb_storage.dir/table_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/ecodb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ecodb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

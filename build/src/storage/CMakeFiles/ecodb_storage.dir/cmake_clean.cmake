@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_storage.dir/btree.cc.o"
+  "CMakeFiles/ecodb_storage.dir/btree.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ecodb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/compression.cc.o"
+  "CMakeFiles/ecodb_storage.dir/compression.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/disk_array.cc.o"
+  "CMakeFiles/ecodb_storage.dir/disk_array.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/hdd.cc.o"
+  "CMakeFiles/ecodb_storage.dir/hdd.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/page.cc.o"
+  "CMakeFiles/ecodb_storage.dir/page.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/remote.cc.o"
+  "CMakeFiles/ecodb_storage.dir/remote.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/ssd.cc.o"
+  "CMakeFiles/ecodb_storage.dir/ssd.cc.o.d"
+  "CMakeFiles/ecodb_storage.dir/table_storage.cc.o"
+  "CMakeFiles/ecodb_storage.dir/table_storage.cc.o.d"
+  "libecodb_storage.a"
+  "libecodb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

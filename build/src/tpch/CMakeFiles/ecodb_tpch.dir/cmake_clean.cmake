@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_tpch.dir/generator.cc.o"
+  "CMakeFiles/ecodb_tpch.dir/generator.cc.o.d"
+  "CMakeFiles/ecodb_tpch.dir/workload.cc.o"
+  "CMakeFiles/ecodb_tpch.dir/workload.cc.o.d"
+  "libecodb_tpch.a"
+  "libecodb_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

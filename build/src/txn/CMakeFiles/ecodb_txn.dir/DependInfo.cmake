@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/checkpoint.cc" "src/txn/CMakeFiles/ecodb_txn.dir/checkpoint.cc.o" "gcc" "src/txn/CMakeFiles/ecodb_txn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/txn/log_record.cc" "src/txn/CMakeFiles/ecodb_txn.dir/log_record.cc.o" "gcc" "src/txn/CMakeFiles/ecodb_txn.dir/log_record.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/txn/CMakeFiles/ecodb_txn.dir/recovery.cc.o" "gcc" "src/txn/CMakeFiles/ecodb_txn.dir/recovery.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/txn/CMakeFiles/ecodb_txn.dir/wal.cc.o" "gcc" "src/txn/CMakeFiles/ecodb_txn.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ecodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecodb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ecodb_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_txn.dir/checkpoint.cc.o"
+  "CMakeFiles/ecodb_txn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/ecodb_txn.dir/log_record.cc.o"
+  "CMakeFiles/ecodb_txn.dir/log_record.cc.o.d"
+  "CMakeFiles/ecodb_txn.dir/recovery.cc.o"
+  "CMakeFiles/ecodb_txn.dir/recovery.cc.o.d"
+  "CMakeFiles/ecodb_txn.dir/wal.cc.o"
+  "CMakeFiles/ecodb_txn.dir/wal.cc.o.d"
+  "libecodb_txn.a"
+  "libecodb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

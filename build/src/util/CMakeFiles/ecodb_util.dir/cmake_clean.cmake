@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_util.dir/histogram.cc.o"
+  "CMakeFiles/ecodb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/ecodb_util.dir/random.cc.o"
+  "CMakeFiles/ecodb_util.dir/random.cc.o.d"
+  "CMakeFiles/ecodb_util.dir/status.cc.o"
+  "CMakeFiles/ecodb_util.dir/status.cc.o.d"
+  "CMakeFiles/ecodb_util.dir/units.cc.o"
+  "CMakeFiles/ecodb_util.dir/units.cc.o.d"
+  "libecodb_util.a"
+  "libecodb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

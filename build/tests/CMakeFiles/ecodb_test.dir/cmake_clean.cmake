@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecodb_test.dir/ecodb_test.cc.o"
+  "CMakeFiles/ecodb_test.dir/ecodb_test.cc.o.d"
+  "ecodb_test"
+  "ecodb_test.pdb"
+  "ecodb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_param_test.dir/engine_param_test.cc.o"
+  "CMakeFiles/engine_param_test.dir/engine_param_test.cc.o.d"
+  "engine_param_test"
+  "engine_param_test.pdb"
+  "engine_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

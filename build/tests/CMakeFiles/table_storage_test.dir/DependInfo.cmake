@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table_storage_test.cc" "tests/CMakeFiles/table_storage_test.dir/table_storage_test.cc.o" "gcc" "tests/CMakeFiles/table_storage_test.dir/table_storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ecodb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecodb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ecodb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecodb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecodb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_storage_test.dir/table_storage_test.cc.o"
+  "CMakeFiles/table_storage_test.dir/table_storage_test.cc.o.d"
+  "table_storage_test"
+  "table_storage_test.pdb"
+  "table_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

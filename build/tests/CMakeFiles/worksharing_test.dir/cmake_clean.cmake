@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worksharing_test.dir/worksharing_test.cc.o"
+  "CMakeFiles/worksharing_test.dir/worksharing_test.cc.o.d"
+  "worksharing_test"
+  "worksharing_test.pdb"
+  "worksharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worksharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
