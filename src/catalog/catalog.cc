@@ -1,9 +1,12 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+
 namespace ecodb::catalog {
 
 StatusOr<TableId> Catalog::CreateTable(const std::string& name,
                                        Schema schema) {
+  std::unique_lock lock(mu_);
   if (by_name_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -19,20 +22,27 @@ StatusOr<TableId> Catalog::CreateTable(const std::string& name,
 }
 
 StatusOr<const TableEntry*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
-  return GetTable(it->second);
+  return GetTableLocked(it->second);
 }
 
 StatusOr<const TableEntry*> Catalog::GetTable(TableId id) const {
+  std::shared_lock lock(mu_);
+  return GetTableLocked(id);
+}
+
+StatusOr<const TableEntry*> Catalog::GetTableLocked(TableId id) const {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return Status::NotFound("no such table id");
   return &it->second;
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -43,6 +53,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Status Catalog::UpdateStats(TableId id, TableStats stats) {
+  std::unique_lock lock(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return Status::NotFound("no such table id");
   it->second.stats = std::move(stats);
@@ -50,6 +61,7 @@ Status Catalog::UpdateStats(TableId id, TableStats stats) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) names.push_back(name);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,7 +43,10 @@ struct TableEntry {
   TableStats stats;
 };
 
-/// Name -> table registry. Not thread-safe (single-session engine).
+/// Name -> table registry. Thread-safe: lookups take a shared lock, DDL and
+/// stats updates take an exclusive lock. TableEntry pointers returned by
+/// GetTable stay valid until that table is dropped; callers must not hold
+/// them across a concurrent DropTable of the same table.
 class Catalog {
  public:
   /// Registers a table; AlreadyExists if the name is taken.
@@ -57,9 +61,15 @@ class Catalog {
   Status UpdateStats(TableId id, TableStats stats);
 
   std::vector<std::string> TableNames() const;
-  size_t size() const { return by_id_.size(); }
+  size_t size() const {
+    std::shared_lock lock(mu_);
+    return by_id_.size();
+  }
 
  private:
+  StatusOr<const TableEntry*> GetTableLocked(TableId id) const;
+
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, TableId> by_name_;
   std::unordered_map<TableId, TableEntry> by_id_;
   TableId next_id_ = 1;

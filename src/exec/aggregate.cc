@@ -24,27 +24,20 @@ const char* AggFuncName(AggFunc func) {
   return "unknown";
 }
 
-HashAggregateOp::HashAggregateOp(OperatorPtr child,
-                                 std::vector<std::string> group_by,
-                                 std::vector<AggregateItem> aggregates)
-    : child_(std::move(child)),
-      group_by_names_(std::move(group_by)),
-      aggregates_(std::move(aggregates)) {}
-
-Status HashAggregateOp::Open(ExecContext* ctx) {
-  ctx_ = ctx;
-  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
-  const catalog::Schema& in = child_->output_schema();
-
-  group_by_.clear();
+Status BindAggregation(const catalog::Schema& in,
+                       const std::vector<std::string>& group_by_names,
+                       std::vector<AggregateItem>* aggregates,
+                       std::vector<int>* group_by,
+                       catalog::Schema* out_schema) {
+  group_by->clear();
   std::vector<catalog::Column> out_cols;
-  for (const std::string& name : group_by_names_) {
+  for (const std::string& name : group_by_names) {
     const int idx = in.FindColumn(name);
     if (idx < 0) return Status::NotFound("group-by column '" + name + "'");
-    group_by_.push_back(idx);
+    group_by->push_back(idx);
     out_cols.push_back(in.column(idx));
   }
-  for (AggregateItem& item : aggregates_) {
+  for (AggregateItem& item : *aggregates) {
     DataType out_type = DataType::kDouble;
     if (item.input != nullptr) {
       ECODB_RETURN_IF_ERROR(item.input->Bind(in));
@@ -60,7 +53,111 @@ Status HashAggregateOp::Open(ExecContext* ctx) {
     c.type = out_type;
     out_cols.push_back(std::move(c));
   }
-  schema_ = catalog::Schema(std::move(out_cols));
+  *out_schema = catalog::Schema(std::move(out_cols));
+  return Status::OK();
+}
+
+void EncodeGroupKey(const RecordBatch& batch, const std::vector<int>& group_by,
+                    size_t row, std::string* key) {
+  key->clear();
+  for (int g : group_by) {
+    const ColumnData& lane = batch.column(static_cast<size_t>(g));
+    switch (lane.type) {
+      case DataType::kInt64:
+      case DataType::kDate: {
+        const int64_t v = lane.i64[row];
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        const double v = lane.f64[row];
+        key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const uint32_t len = static_cast<uint32_t>(lane.str[row].size());
+        key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        key->append(lane.str[row]);
+        break;
+      }
+    }
+  }
+}
+
+void InitGroupAccum(GroupAccum* gs, const RecordBatch& batch,
+                    const std::vector<int>& group_by, size_t row,
+                    size_t num_aggregates) {
+  gs->keys.reserve(group_by.size());
+  for (int g : group_by) {
+    gs->keys.push_back(batch.GetValue(row, static_cast<size_t>(g)));
+  }
+  gs->sum.assign(num_aggregates, 0.0);
+  gs->count.assign(num_aggregates, 0);
+  gs->min.assign(num_aggregates, std::numeric_limits<double>::infinity());
+  gs->max.assign(num_aggregates, -std::numeric_limits<double>::infinity());
+}
+
+GroupAccum ZeroGroupAccum(size_t num_aggregates) {
+  GroupAccum gs;
+  gs.sum.assign(num_aggregates, 0.0);
+  gs.count.assign(num_aggregates, 0);
+  gs.min.assign(num_aggregates, 0.0);
+  gs.max.assign(num_aggregates, 0.0);
+  return gs;
+}
+
+void MergeGroupAccum(GroupAccum* into, const GroupAccum& from) {
+  for (size_t a = 0; a < into->sum.size(); ++a) {
+    into->sum[a] += from.sum[a];
+    into->count[a] += from.count[a];
+    into->min[a] = std::min(into->min[a], from.min[a]);
+    into->max[a] = std::max(into->max[a], from.max[a]);
+  }
+}
+
+Status AppendGroupRow(const GroupAccum& gs,
+                      const std::vector<AggregateItem>& aggregates,
+                      RecordBatch* batch) {
+  std::vector<Value> row;
+  row.reserve(gs.keys.size() + aggregates.size());
+  for (const Value& k : gs.keys) row.push_back(k);
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    switch (aggregates[a].func) {
+      case AggFunc::kSum:
+        row.push_back(Value::Double(gs.sum[a]));
+        break;
+      case AggFunc::kCount:
+        row.push_back(Value::Int64(gs.count[a]));
+        break;
+      case AggFunc::kMin:
+        row.push_back(Value::Double(gs.count[a] ? gs.min[a] : 0.0));
+        break;
+      case AggFunc::kMax:
+        row.push_back(Value::Double(gs.count[a] ? gs.max[a] : 0.0));
+        break;
+      case AggFunc::kAvg:
+        row.push_back(Value::Double(
+            gs.count[a] ? gs.sum[a] / static_cast<double>(gs.count[a])
+                        : 0.0));
+        break;
+    }
+  }
+  return batch->AppendRow(row);
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<std::string> group_by,
+                                 std::vector<AggregateItem> aggregates)
+    : child_(std::move(child)),
+      group_by_names_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {}
+
+Status HashAggregateOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(BindAggregation(child_->output_schema(),
+                                        group_by_names_, &aggregates_,
+                                        &group_by_, &schema_));
   groups_.clear();
   computed_ = false;
   cursor_ = 0;
@@ -71,70 +168,13 @@ Status HashAggregateOp::Consume(const RecordBatch& batch) {
   const size_t n = batch.num_rows();
   ctx_->ChargeInstructions(ctx_->options().costs.agg_update_per_row *
                            static_cast<double>(n));
-
-  // Evaluate aggregate inputs once per batch.
-  std::vector<ColumnData> inputs(aggregates_.size());
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
-    if (aggregates_[a].input != nullptr) {
-      ctx_->ChargeInstructions(aggregates_[a].input->InstructionsPerRow() *
+  for (const AggregateItem& item : aggregates_) {
+    if (item.input != nullptr) {
+      ctx_->ChargeInstructions(item.input->InstructionsPerRow() *
                                static_cast<double>(n));
-      ECODB_ASSIGN_OR_RETURN(inputs[a], aggregates_[a].input->Evaluate(batch));
     }
   }
-
-  std::string key;
-  for (size_t r = 0; r < n; ++r) {
-    // Encode the group key (deterministic; strings are length-prefixed).
-    key.clear();
-    for (int g : group_by_) {
-      const ColumnData& lane = batch.column(g);
-      switch (lane.type) {
-        case DataType::kInt64:
-        case DataType::kDate: {
-          const int64_t v = lane.i64[r];
-          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-          break;
-        }
-        case DataType::kDouble: {
-          const double v = lane.f64[r];
-          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
-          break;
-        }
-        case DataType::kString: {
-          const uint32_t len = static_cast<uint32_t>(lane.str[r].size());
-          key.append(reinterpret_cast<const char*>(&len), sizeof(len));
-          key.append(lane.str[r]);
-          break;
-        }
-      }
-    }
-    auto [it, inserted] = groups_.try_emplace(key);
-    GroupState& gs = it->second;
-    if (inserted) {
-      gs.keys.reserve(group_by_.size());
-      for (int g : group_by_) gs.keys.push_back(batch.GetValue(r, g));
-      gs.sum.assign(aggregates_.size(), 0.0);
-      gs.count.assign(aggregates_.size(), 0);
-      gs.min.assign(aggregates_.size(),
-                    std::numeric_limits<double>::infinity());
-      gs.max.assign(aggregates_.size(),
-                    -std::numeric_limits<double>::infinity());
-    }
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      double v = 0.0;
-      if (aggregates_[a].input != nullptr) {
-        const ColumnData& lane = inputs[a];
-        v = lane.type == DataType::kDouble ? lane.f64[r]
-                                           : static_cast<double>(lane.i64[r]);
-      }
-      gs.sum[a] += v;
-      gs.count[a] += 1;
-      gs.min[a] = std::min(gs.min[a], v);
-      gs.max[a] = std::max(gs.max[a], v);
-    }
-    gs.seen = true;
-  }
-  return Status::OK();
+  return AccumulateBatch(batch, group_by_, aggregates_, &groups_);
 }
 
 Status HashAggregateOp::Next(RecordBatch* out, bool* eos) {
@@ -148,12 +188,7 @@ Status HashAggregateOp::Next(RecordBatch* out, bool* eos) {
     }
     // A global aggregate over zero rows still emits one row of zeros.
     if (groups_.empty() && group_by_.empty()) {
-      GroupState gs;
-      gs.sum.assign(aggregates_.size(), 0.0);
-      gs.count.assign(aggregates_.size(), 0);
-      gs.min.assign(aggregates_.size(), 0.0);
-      gs.max.assign(aggregates_.size(), 0.0);
-      groups_.emplace("", std::move(gs));
+      groups_.emplace("", ZeroGroupAccum(aggregates_.size()));
     }
     emit_order_.clear();
     emit_order_.reserve(groups_.size());
@@ -173,32 +208,8 @@ Status HashAggregateOp::Next(RecordBatch* out, bool* eos) {
       std::min(ctx_->options().batch_rows, emit_order_.size() - cursor_);
   RecordBatch batch(schema_);
   for (size_t i = 0; i < take; ++i) {
-    const GroupState& gs = groups_.at(emit_order_[cursor_ + i]);
-    std::vector<Value> row;
-    row.reserve(schema_.num_columns());
-    for (const Value& k : gs.keys) row.push_back(k);
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      switch (aggregates_[a].func) {
-        case AggFunc::kSum:
-          row.push_back(Value::Double(gs.sum[a]));
-          break;
-        case AggFunc::kCount:
-          row.push_back(Value::Int64(gs.count[a]));
-          break;
-        case AggFunc::kMin:
-          row.push_back(Value::Double(gs.count[a] ? gs.min[a] : 0.0));
-          break;
-        case AggFunc::kMax:
-          row.push_back(Value::Double(gs.count[a] ? gs.max[a] : 0.0));
-          break;
-        case AggFunc::kAvg:
-          row.push_back(Value::Double(
-              gs.count[a] ? gs.sum[a] / static_cast<double>(gs.count[a])
-                          : 0.0));
-          break;
-      }
-    }
-    ECODB_RETURN_IF_ERROR(batch.AppendRow(row));
+    const GroupAccum& gs = groups_.at(emit_order_[cursor_ + i]);
+    ECODB_RETURN_IF_ERROR(AppendGroupRow(gs, aggregates_, &batch));
   }
   ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
                            static_cast<double>(take));

@@ -1,8 +1,14 @@
 // Hash aggregation: GROUP BY over key columns with SUM/COUNT/MIN/MAX/AVG.
+//
+// The binding, key-encoding, accumulation, and row-emission pieces are
+// shared free helpers so the serial HashAggregateOp and the parallel
+// partitioned aggregate (parallel_aggregate.h) compute with exactly the
+// same arithmetic.
 
 #ifndef ECODB_EXEC_AGGREGATE_H_
 #define ECODB_EXEC_AGGREGATE_H_
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +30,84 @@ struct AggregateItem {
   ExprPtr input;
 };
 
+/// Running accumulator of one group (all aggregate functions at once; the
+/// final value is picked per function at emission).
+struct GroupAccum {
+  std::vector<Value> keys;
+  std::vector<double> sum;
+  std::vector<int64_t> count;
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+/// Resolves group-by names and binds aggregate inputs against `in`,
+/// producing the key column indexes and the output schema.
+Status BindAggregation(const catalog::Schema& in,
+                       const std::vector<std::string>& group_by_names,
+                       std::vector<AggregateItem>* aggregates,
+                       std::vector<int>* group_by,
+                       catalog::Schema* out_schema);
+
+/// Encodes row `row`'s group key into `key` (deterministic; strings are
+/// length-prefixed so keys never collide across types).
+void EncodeGroupKey(const RecordBatch& batch, const std::vector<int>& group_by,
+                    size_t row, std::string* key);
+
+/// Prepares a fresh accumulator for the group that row `row` starts.
+void InitGroupAccum(GroupAccum* gs, const RecordBatch& batch,
+                    const std::vector<int>& group_by, size_t row,
+                    size_t num_aggregates);
+
+/// The all-zero accumulator a global aggregate over no rows emits.
+GroupAccum ZeroGroupAccum(size_t num_aggregates);
+
+/// Folds `from` into `into` (same group observed in another partial).
+void MergeGroupAccum(GroupAccum* into, const GroupAccum& from);
+
+/// Appends the group's output row (keys then one value per aggregate).
+Status AppendGroupRow(const GroupAccum& gs,
+                      const std::vector<AggregateItem>& aggregates,
+                      RecordBatch* batch);
+
+/// Aggregates one batch into `groups` — any map keyed by the encoded group
+/// key (the serial operator uses an ordered std::map, parallel partials use
+/// unordered_map). Pure accumulation; the caller owns the cost charges.
+template <typename GroupMap>
+Status AccumulateBatch(const RecordBatch& batch,
+                       const std::vector<int>& group_by,
+                       const std::vector<AggregateItem>& aggregates,
+                       GroupMap* groups) {
+  std::vector<ColumnData> inputs(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    if (aggregates[a].input != nullptr) {
+      ECODB_ASSIGN_OR_RETURN(inputs[a], aggregates[a].input->Evaluate(batch));
+    }
+  }
+  std::string key;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    EncodeGroupKey(batch, group_by, r, &key);
+    auto [it, inserted] = groups->try_emplace(key);
+    GroupAccum& gs = it->second;
+    if (inserted) {
+      InitGroupAccum(&gs, batch, group_by, r, aggregates.size());
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      double v = 0.0;
+      if (aggregates[a].input != nullptr) {
+        const ColumnData& lane = inputs[a];
+        v = lane.type == catalog::DataType::kDouble
+                ? lane.f64[r]
+                : static_cast<double>(lane.i64[r]);
+      }
+      gs.sum[a] += v;
+      gs.count[a] += 1;
+      gs.min[a] = std::min(gs.min[a], v);
+      gs.max[a] = std::max(gs.max[a], v);
+    }
+  }
+  return Status::OK();
+}
+
 class HashAggregateOp final : public Operator {
  public:
   /// `group_by` may be empty (global aggregate: exactly one output row).
@@ -36,15 +120,6 @@ class HashAggregateOp final : public Operator {
   void Close() override;
 
  private:
-  struct GroupState {
-    std::vector<Value> keys;
-    std::vector<double> sum;
-    std::vector<int64_t> count;
-    std::vector<double> min;
-    std::vector<double> max;
-    bool seen = false;
-  };
-
   Status Consume(const RecordBatch& batch);
 
   OperatorPtr child_;
@@ -53,7 +128,7 @@ class HashAggregateOp final : public Operator {
   std::vector<AggregateItem> aggregates_;
   catalog::Schema schema_;
   // Deterministic output ordering for tests: ordered map on the encoded key.
-  std::map<std::string, GroupState> groups_;
+  std::map<std::string, GroupAccum> groups_;
   bool computed_ = false;
   std::vector<std::string> emit_order_;
   size_t cursor_ = 0;

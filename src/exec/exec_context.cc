@@ -43,6 +43,20 @@ void ExecContext::ChargeDram(uint64_t bytes) {
   platform_->ChargeDramAccess(bytes);
 }
 
+void ExecContext::MergeWork(const WorkAccumulator& acc) {
+  if (acc.instructions > 0) ChargeInstructions(acc.instructions);
+  if (acc.dram_bytes > 0) ChargeDram(acc.dram_bytes);
+  io_bytes_ += acc.io_bytes;
+}
+
+WorkerPool* ExecContext::worker_pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(
+        std::min(options_.dop, platform_->cpu().total_cores()));
+  }
+  return pool_.get();
+}
+
 double ExecContext::CpuElapsedSeconds() const {
   const int cores = std::min(options_.dop, platform_->cpu().total_cores());
   const double core_seconds = platform_->cpu().SecondsForInstructions(
@@ -55,15 +69,20 @@ QueryStats ExecContext::Finish() {
   finished_ = true;
 
   // Critical path: CPU work pipelines with I/O (vectorized pull loops keep
-  // both sides busy), so the query ends when the slower side ends.
+  // both sides busy), so the query ends when the slower side ends. The dop
+  // shortens the CPU leg only; busy core-seconds — and therefore active CPU
+  // energy — are the same at every dop.
   const double cpu_core_seconds = platform_->cpu().SecondsForInstructions(
       cpu_instructions_, options_.pstate);
   const double cpu_elapsed = CpuElapsedSeconds();
+  const int active_cores =
+      std::min(options_.dop, platform_->cpu().total_cores());
   const double end_time =
       std::max(start_time_ + cpu_elapsed, io_completion_);
 
   // CPU active energy settles at query end.
-  platform_->ChargeCpuAt(end_time, cpu_core_seconds, options_.pstate);
+  platform_->ChargeCpuCoresAt(end_time, cpu_core_seconds, active_cores,
+                              options_.pstate);
   platform_->clock()->AdvanceTo(end_time);
 
   QueryStats stats;
@@ -71,6 +90,9 @@ QueryStats ExecContext::Finish() {
   stats.end_time = end_time;
   stats.elapsed_seconds = end_time - start_time_;
   stats.cpu_seconds = cpu_core_seconds;
+  stats.cpu_elapsed_seconds = cpu_elapsed;
+  stats.cpu_instructions = cpu_instructions_;
+  stats.active_cores = active_cores;
   stats.io_seconds = io_service_seconds_;
   stats.io_bytes = io_bytes_;
   stats.rows_emitted = rows_emitted_;

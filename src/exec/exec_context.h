@@ -11,9 +11,11 @@
 #define ECODB_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/worker_pool.h"
 #include "power/platform.h"
 #include "storage/device.h"
 #include "util/status.h"
@@ -40,6 +42,10 @@ struct ExecOptions {
   int dop = 1;      // degree of parallelism for CPU work
   int pstate = 0;   // CPU DVFS state to run at
   size_t batch_rows = 4096;
+  /// Target rows per parallel-scan morsel; rounded up to whole zone-map
+  /// blocks so morsel boundaries never split a block. Must not affect
+  /// results or accounting — only scheduling granularity.
+  size_t morsel_rows = 16384;
   CostConstants costs;
 };
 
@@ -49,6 +55,9 @@ struct QueryStats {
   double end_time = 0.0;
   double elapsed_seconds = 0.0;
   double cpu_seconds = 0.0;       // busy core-seconds (not divided by dop)
+  double cpu_elapsed_seconds = 0.0;  // CPU critical path (core-seconds / cores)
+  double cpu_instructions = 0.0;  // abstract instructions charged
+  int active_cores = 1;           // cores the query actually occupied
   double io_seconds = 0.0;        // device service time observed
   uint64_t io_bytes = 0;
   uint64_t rows_emitted = 0;
@@ -88,6 +97,15 @@ class ExecContext {
 
   void CountRows(uint64_t rows) { rows_emitted_ += rows; }
 
+  /// Folds a worker's tally into the query's totals (coordinator only, after
+  /// the pool round completes). Only the modeled-work counters are merged;
+  /// rows_out is the producer's local selectivity, not query output.
+  void MergeWork(const WorkAccumulator& acc);
+
+  /// The query's worker pool, sized to min(dop, total cores). Created
+  /// lazily on first use; dop 1 never spawns a thread.
+  WorkerPool* worker_pool();
+
   /// Elapsed CPU wall-seconds implied by the charged instructions at the
   /// configured dop/P-state.
   double CpuElapsedSeconds() const;
@@ -106,6 +124,7 @@ class ExecContext {
   double io_service_seconds_ = 0.0;
   uint64_t io_bytes_ = 0;
   uint64_t rows_emitted_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
   bool finished_ = false;
 };
 

@@ -135,35 +135,89 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   ctx->ChargeInstructions(ctx->options().costs.hash_build_per_row *
                           static_cast<double>(build_rows_.num_rows()));
   ctx->ChargeDram(build_bytes_);
+
+  probe_source_ = dynamic_cast<MorselSource*>(left_.get());
+  probe_slots_.clear();
+  probed_ = false;
+  probe_cursor_ = 0;
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeBatch(const RecordBatch& probe, RecordBatch* joined,
+                              size_t* matches) const {
+  *joined = RecordBatch(schema_);
+  const ColumnData& keys = probe.column(static_cast<size_t>(left_key_));
+  *matches = 0;
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    if (string_key_) {
+      auto [lo, hi] = str_index_.equal_range(keys.str[r]);
+      for (auto it = lo; it != hi; ++it) {
+        EmitJoined(probe, r, build_rows_, it->second, joined);
+        ++*matches;
+      }
+    } else {
+      auto [lo, hi] = i64_index_.equal_range(keys.i64[r]);
+      for (auto it = lo; it != hi; ++it) {
+        EmitJoined(probe, r, build_rows_, it->second, joined);
+        ++*matches;
+      }
+    }
+  }
+  return joined->SealRows(*matches);
+}
+
+Status HashJoinOp::ParallelProbe() {
+  const size_t n_morsels = probe_source_->morsel_count();
+  probe_slots_.assign(n_morsels, RecordBatch{});
+  std::vector<size_t> match_counts(n_morsels, 0);
+  WorkerPool* pool = ctx_->worker_pool();
+  std::vector<WorkAccumulator> accs(static_cast<size_t>(pool->parallelism()));
+  ECODB_RETURN_IF_ERROR(
+      pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+        RecordBatch probe;
+        ECODB_RETURN_IF_ERROR(probe_source_->ProduceMorsel(
+            m, &probe, &accs[static_cast<size_t>(slot)]));
+        return ProbeBatch(probe, &probe_slots_[m], &match_counts[m]);
+      }));
+  uint64_t probe_rows = 0;
+  for (const WorkAccumulator& acc : accs) {
+    probe_rows += acc.rows_out;
+    ctx_->MergeWork(acc);
+  }
+  uint64_t total_matches = 0;
+  for (size_t m : match_counts) total_matches += m;
+  // Same constants as the serial probe, applied to dop-invariant totals.
+  ctx_->ChargeInstructions(
+      ctx_->options().costs.hash_probe_per_row *
+          static_cast<double>(probe_rows) +
+      ctx_->options().costs.output_per_row *
+          static_cast<double>(total_matches));
+  probed_ = true;
+  probe_cursor_ = 0;
   return Status::OK();
 }
 
 Status HashJoinOp::Next(RecordBatch* out, bool* eos) {
+  if (probe_source_ != nullptr) {
+    if (!probed_) ECODB_RETURN_IF_ERROR(ParallelProbe());
+    if (probe_cursor_ >= probe_slots_.size()) {
+      *eos = true;
+      return Status::OK();
+    }
+    *eos = false;
+    *out = std::move(probe_slots_[probe_cursor_]);
+    ++probe_cursor_;
+    return Status::OK();
+  }
   while (true) {
     RecordBatch probe;
     ECODB_RETURN_IF_ERROR(left_->Next(&probe, eos));
     if (*eos) return Status::OK();
     ctx_->ChargeInstructions(ctx_->options().costs.hash_probe_per_row *
                              static_cast<double>(probe.num_rows()));
-    RecordBatch joined(schema_);
-    const ColumnData& keys = probe.column(left_key_);
+    RecordBatch joined;
     size_t matches = 0;
-    for (size_t r = 0; r < probe.num_rows(); ++r) {
-      if (string_key_) {
-        auto [lo, hi] = str_index_.equal_range(keys.str[r]);
-        for (auto it = lo; it != hi; ++it) {
-          EmitJoined(probe, r, build_rows_, it->second, &joined);
-          ++matches;
-        }
-      } else {
-        auto [lo, hi] = i64_index_.equal_range(keys.i64[r]);
-        for (auto it = lo; it != hi; ++it) {
-          EmitJoined(probe, r, build_rows_, it->second, &joined);
-          ++matches;
-        }
-      }
-    }
-    ECODB_RETURN_IF_ERROR(joined.SealRows(matches));
+    ECODB_RETURN_IF_ERROR(ProbeBatch(probe, &joined, &matches));
     ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
                              static_cast<double>(matches));
     *out = std::move(joined);
@@ -176,6 +230,7 @@ void HashJoinOp::Close() {
   right_->Close();
   i64_index_.clear();
   str_index_.clear();
+  probe_slots_.clear();
 }
 
 // --------------------------------------------------------------------------

@@ -20,6 +20,7 @@
 
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/parallel_scan.h"
 
 namespace ecodb::exec {
 
@@ -29,6 +30,13 @@ catalog::Schema JoinedSchema(const catalog::Schema& left,
 
 /// Equi-join on one key column per side. The right (build) side must fit
 /// in memory; its size is charged as DRAM traffic.
+///
+/// When the left (probe) child is a MorselSource (a parallel table scan),
+/// the probe phase runs morsel-parallel: each worker pulls probe morsels
+/// and probes the read-only build table into a per-morsel output slot;
+/// slots are emitted in morsel order and all modeled charges come from
+/// dop-invariant row/match totals, so results and accounting match the
+/// serial probe exactly.
 class HashJoinOp final : public Operator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, std::string left_key,
@@ -44,6 +52,13 @@ class HashJoinOp final : public Operator {
   uint64_t build_bytes() const { return build_bytes_; }
 
  private:
+  /// Probes one batch against the build table (read-only; safe to call
+  /// concurrently on distinct batches).
+  Status ProbeBatch(const RecordBatch& probe, RecordBatch* joined,
+                    size_t* matches) const;
+  /// Runs the morsel-parallel probe into probe_slots_.
+  Status ParallelProbe();
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::string left_key_name_;
@@ -57,6 +72,11 @@ class HashJoinOp final : public Operator {
   std::unordered_multimap<std::string, size_t> str_index_;
   bool string_key_ = false;
   uint64_t build_bytes_ = 0;
+  // Parallel probe state (set when the left child is a MorselSource).
+  MorselSource* probe_source_ = nullptr;
+  std::vector<RecordBatch> probe_slots_;  // per-morsel, emitted in order
+  bool probed_ = false;
+  size_t probe_cursor_ = 0;
   ExecContext* ctx_ = nullptr;
 };
 

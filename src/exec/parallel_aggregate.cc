@@ -1,0 +1,128 @@
+#include "exec/parallel_aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace ecodb::exec {
+
+ParallelHashAggregateOp::ParallelHashAggregateOp(
+    OperatorPtr child, std::vector<std::string> group_by,
+    std::vector<AggregateItem> aggregates)
+    : child_(std::move(child)),
+      group_by_names_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {}
+
+Status ParallelHashAggregateOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(BindAggregation(child_->output_schema(),
+                                        group_by_names_, &aggregates_,
+                                        &group_by_, &schema_));
+  groups_.clear();
+  computed_ = false;
+  cursor_ = 0;
+  return Status::OK();
+}
+
+void ParallelHashAggregateOp::ChargeUpdate(uint64_t rows) {
+  const double n = static_cast<double>(rows);
+  ctx_->ChargeInstructions(ctx_->options().costs.agg_update_per_row * n);
+  for (const AggregateItem& item : aggregates_) {
+    if (item.input != nullptr) {
+      ctx_->ChargeInstructions(item.input->InstructionsPerRow() * n);
+    }
+  }
+}
+
+Status ParallelHashAggregateOp::Compute() {
+  auto* source = dynamic_cast<MorselSource*>(child_.get());
+  if (source != nullptr) {
+    const size_t n_morsels = source->morsel_count();
+    std::vector<std::unordered_map<std::string, GroupAccum>> partials(
+        n_morsels);
+    WorkerPool* pool = ctx_->worker_pool();
+    std::vector<WorkAccumulator> accs(
+        static_cast<size_t>(pool->parallelism()));
+    ECODB_RETURN_IF_ERROR(
+        pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+          RecordBatch batch;
+          WorkAccumulator& acc = accs[static_cast<size_t>(slot)];
+          ECODB_RETURN_IF_ERROR(source->ProduceMorsel(m, &batch, &acc));
+          return AccumulateBatch(batch, group_by_, aggregates_, &partials[m]);
+        }));
+    uint64_t input_rows = 0;
+    for (const WorkAccumulator& acc : accs) {
+      input_rows += acc.rows_out;  // rows surviving the source's filter
+      ctx_->MergeWork(acc);
+    }
+    ChargeUpdate(input_rows);
+    // Merge partials in morsel index order: each key occurs at most once
+    // per partial, so every group's accumulator sees its contributions in
+    // a fixed, dop-independent order.
+    for (std::unordered_map<std::string, GroupAccum>& partial : partials) {
+      for (auto& [key, gs] : partial) {
+        auto [it, inserted] = groups_.try_emplace(key);
+        if (inserted) {
+          it->second = std::move(gs);
+        } else {
+          MergeGroupAccum(&it->second, gs);
+        }
+      }
+    }
+  } else {
+    // Serial fallback: same drain + arithmetic as HashAggregateOp.
+    bool child_eos = false;
+    while (true) {
+      RecordBatch batch;
+      ECODB_RETURN_IF_ERROR(child_->Next(&batch, &child_eos));
+      if (child_eos) break;
+      ChargeUpdate(batch.num_rows());
+      ECODB_RETURN_IF_ERROR(
+          AccumulateBatch(batch, group_by_, aggregates_, &groups_));
+    }
+  }
+
+  // A global aggregate over zero rows still emits one row of zeros.
+  if (groups_.empty() && group_by_.empty()) {
+    groups_.emplace("", ZeroGroupAccum(aggregates_.size()));
+  }
+  emit_order_.clear();
+  emit_order_.reserve(groups_.size());
+  for (const auto& [k, gs] : groups_) emit_order_.push_back(k);
+  // Rough DRAM residency of the final aggregation state (the same formula
+  // as the serial operator; partials are transient).
+  ctx_->ChargeDram(groups_.size() *
+                   (32 + 32 * (aggregates_.size() + group_by_.size())));
+  computed_ = true;
+  return Status::OK();
+}
+
+Status ParallelHashAggregateOp::Next(RecordBatch* out, bool* eos) {
+  if (!computed_) ECODB_RETURN_IF_ERROR(Compute());
+
+  if (cursor_ >= emit_order_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(ctx_->options().batch_rows, emit_order_.size() - cursor_);
+  RecordBatch batch(schema_);
+  for (size_t i = 0; i < take; ++i) {
+    const GroupAccum& gs = groups_.at(emit_order_[cursor_ + i]);
+    ECODB_RETURN_IF_ERROR(AppendGroupRow(gs, aggregates_, &batch));
+  }
+  ctx_->ChargeInstructions(ctx_->options().costs.output_per_row *
+                           static_cast<double>(take));
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void ParallelHashAggregateOp::Close() {
+  child_->Close();
+  groups_.clear();
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,64 @@
+// Parallel partitioned hash aggregation.
+//
+// When its child is a MorselSource (the parallel table scan), the operator
+// aggregates each morsel into a thread-local partial hash table inside the
+// worker that produced the morsel — no shared state, no locks — then merges
+// the partials into one ordered group table in morsel index order.
+//
+// Determinism contract: a group key appears at most once per morsel
+// partial, and partials merge in morsel order, so the merged accumulators
+// see contributions in a fixed order independent of dop and scheduling.
+// With morsel boundaries themselves dop-invariant, the output and all
+// modeled charges are identical at every dop. Charges are computed by the
+// coordinator from merged row totals using the same CostConstants as the
+// serial HashAggregateOp.
+//
+// A non-MorselSource child falls back to the serial drain (same arithmetic
+// as HashAggregateOp), so the operator is safe to use in any plan.
+
+#ifndef ECODB_EXEC_PARALLEL_AGGREGATE_H_
+#define ECODB_EXEC_PARALLEL_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/operator.h"
+#include "exec/parallel_scan.h"
+
+namespace ecodb::exec {
+
+class ParallelHashAggregateOp final : public Operator {
+ public:
+  /// `group_by` may be empty (global aggregate: exactly one output row).
+  ParallelHashAggregateOp(OperatorPtr child,
+                          std::vector<std::string> group_by,
+                          std::vector<AggregateItem> aggregates);
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+ private:
+  /// Builds groups_ (parallel over morsels, or serial child drain).
+  Status Compute();
+  /// Charges the aggregation's modeled CPU work for `rows` input rows.
+  void ChargeUpdate(uint64_t rows);
+
+  OperatorPtr child_;
+  std::vector<std::string> group_by_names_;
+  std::vector<int> group_by_;
+  std::vector<AggregateItem> aggregates_;
+  catalog::Schema schema_;
+  std::map<std::string, GroupAccum> groups_;
+  bool computed_ = false;
+  std::vector<std::string> emit_order_;
+  size_t cursor_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_PARALLEL_AGGREGATE_H_

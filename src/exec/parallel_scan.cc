@@ -1,0 +1,189 @@
+#include "exec/parallel_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exec/exec_context.h"
+
+namespace ecodb::exec {
+
+std::vector<ScanRowRange> MorselizeRanges(
+    const std::vector<ScanRowRange>& ranges, size_t block_rows,
+    size_t target_rows) {
+  const size_t align = std::max<size_t>(1, block_rows);
+  // Round the target up to a whole number of zone blocks so every cut
+  // lands on a block boundary (ranges already start block-aligned).
+  const size_t step = std::max(align, (target_rows + align - 1) / align * align);
+  std::vector<ScanRowRange> morsels;
+  for (const ScanRowRange& r : ranges) {
+    for (size_t begin = r.begin; begin < r.end; begin += step) {
+      morsels.push_back({begin, std::min(r.end, begin + step)});
+    }
+  }
+  return morsels;
+}
+
+ParallelTableScanOp::ParallelTableScanOp(const storage::TableStorage* table,
+                                         std::vector<std::string> columns,
+                                         ExprPtr prune_filter,
+                                         ExprPtr exact_filter)
+    : table_(table),
+      column_names_(std::move(columns)),
+      prune_filter_(std::move(prune_filter)),
+      exact_filter_(std::move(exact_filter)) {}
+
+Status ParallelTableScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+
+  column_indexes_.clear();
+  if (column_names_.empty()) {
+    for (int i = 0; i < table_->schema().num_columns(); ++i) {
+      column_indexes_.push_back(i);
+      column_names_.push_back(table_->schema().column(i).name);
+    }
+  } else {
+    for (const std::string& name : column_names_) {
+      const int idx = table_->schema().FindColumn(name);
+      if (idx < 0) return Status::NotFound("scan column '" + name + "'");
+      column_indexes_.push_back(idx);
+    }
+  }
+  schema_ = table_->schema().ProjectIndexes(column_indexes_);
+  if (exact_filter_ != nullptr) {
+    ECODB_RETURN_IF_ERROR(exact_filter_->Bind(schema_));
+  }
+
+  // Pruning, transfer, and decode charges share the serial scan's helpers,
+  // so the coordinator-side accounting is identical at every dop.
+  ScanPruning pruning = PruneScan(prune_filter_, *table_);
+  blocks_skipped_ = pruning.blocks_skipped;
+  const uint64_t bytes =
+      ScanTransferBytes(*table_, column_indexes_, pruning.selected_fraction);
+  if (bytes > 0 && table_->device() != nullptr) {
+    ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true);
+  }
+  ctx->ChargeInstructions(
+      ScanDecodeInstructions(*table_, column_indexes_,
+                             pruning.selected_fraction) *
+      ctx->options().costs.decode_scale);
+
+  // Column sources: borrow uncompressed lanes in place; decode compressed
+  // columns across the pool (one task per compressed column).
+  const size_t n_cols = column_indexes_.size();
+  sources_.assign(n_cols, nullptr);
+  owned_decodes_.assign(n_cols, storage::ColumnData{});
+  std::vector<size_t> to_decode;
+  for (size_t c = 0; c < n_cols; ++c) {
+    const int idx = column_indexes_[c];
+    if (table_->column_layout(idx).compression ==
+        storage::CompressionKind::kNone) {
+      sources_[c] = &table_->RawColumn(idx);
+    } else {
+      to_decode.push_back(c);
+    }
+  }
+  if (!to_decode.empty()) {
+    WorkerPool* pool = ctx->worker_pool();
+    ECODB_RETURN_IF_ERROR(pool->Run(
+        to_decode.size(), [&](size_t t, int /*slot*/) -> Status {
+          const size_t c = to_decode[t];
+          ECODB_ASSIGN_OR_RETURN(owned_decodes_[c],
+                                 table_->ReadColumn(column_indexes_[c]));
+          return Status::OK();
+        }));
+    for (size_t c : to_decode) sources_[c] = &owned_decodes_[c];
+  }
+
+  morsels_ = MorselizeRanges(pruning.ranges, table_->zone_maps().block_rows,
+                             ctx->options().morsel_rows);
+
+  // The fused filter's modeled cost is charged up front from the selected
+  // row total (dop-invariant; mirrors what a downstream FilterOp would
+  // charge on the scan's output).
+  if (exact_filter_ != nullptr) {
+    uint64_t selected = 0;
+    for (const ScanRowRange& m : morsels_) selected += m.end - m.begin;
+    ctx->ChargeInstructions(exact_filter_->InstructionsPerRow() *
+                            static_cast<double>(selected));
+  }
+
+  slots_.clear();
+  materialized_ = false;
+  cursor_ = 0;
+  open_ = true;
+  return Status::OK();
+}
+
+Status ParallelTableScanOp::ProduceMorsel(size_t index, RecordBatch* out,
+                                          WorkAccumulator* acc) const {
+  assert(index < morsels_.size());
+  const ScanRowRange m = morsels_[index];
+  const size_t take = m.end - m.begin;
+  RecordBatch batch(schema_);
+  for (size_t c = 0; c < sources_.size(); ++c) {
+    storage::ColumnData& lane = batch.column(c);
+    const storage::ColumnData& src = *sources_[c];
+    switch (src.type) {
+      case catalog::DataType::kInt64:
+      case catalog::DataType::kDate:
+        lane.i64.assign(src.i64.begin() + static_cast<long>(m.begin),
+                        src.i64.begin() + static_cast<long>(m.end));
+        break;
+      case catalog::DataType::kDouble:
+        lane.f64.assign(src.f64.begin() + static_cast<long>(m.begin),
+                        src.f64.begin() + static_cast<long>(m.end));
+        break;
+      case catalog::DataType::kString:
+        lane.str.assign(src.str.begin() + static_cast<long>(m.begin),
+                        src.str.begin() + static_cast<long>(m.end));
+        break;
+    }
+  }
+  ECODB_RETURN_IF_ERROR(batch.SealRows(take));
+  acc->rows_in += take;
+  if (exact_filter_ != nullptr) {
+    ECODB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                           exact_filter_->EvaluateMask(batch));
+    batch.FilterInPlace(mask);
+  }
+  acc->rows_out += batch.num_rows();
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+Status ParallelTableScanOp::Materialize() {
+  WorkerPool* pool = ctx_->worker_pool();
+  slots_.assign(morsels_.size(), RecordBatch{});
+  std::vector<WorkAccumulator> accs(
+      static_cast<size_t>(pool->parallelism()));
+  ECODB_RETURN_IF_ERROR(
+      pool->Run(morsels_.size(), [&](size_t m, int slot) -> Status {
+        return ProduceMorsel(m, &slots_[m], &accs[static_cast<size_t>(slot)]);
+      }));
+  for (const WorkAccumulator& acc : accs) ctx_->MergeWork(acc);
+  materialized_ = true;
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Status ParallelTableScanOp::Next(RecordBatch* out, bool* eos) {
+  if (!open_) return Status::FailedPrecondition("parallel scan not open");
+  if (!materialized_) ECODB_RETURN_IF_ERROR(Materialize());
+  if (cursor_ >= slots_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  *out = std::move(slots_[cursor_]);
+  ++cursor_;
+  return Status::OK();
+}
+
+void ParallelTableScanOp::Close() {
+  sources_.clear();
+  owned_decodes_.clear();
+  slots_.clear();
+  open_ = false;
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,108 @@
+// Morsel-driven parallel table scan.
+//
+// ParallelTableScanOp splits the zone-map-pruned row ranges of a table into
+// morsels whose boundaries align with zone-map blocks (so blocks_skipped
+// and transfer accounting match the serial TableScanOp exactly), then lets
+// the query's WorkerPool materialize/filter morsels concurrently. An
+// optional exact filter is fused into the morsel loop, replacing the
+// downstream FilterOp at dop > 1.
+//
+// Determinism contract: morsel boundaries depend only on the table, the
+// prune filter, and ExecOptions::morsel_rows — never on dop or on which
+// worker ran a morsel. Output batches are emitted in morsel order, and all
+// modeled charges are computed from dop-invariant totals on the
+// coordinator, so a query returns byte-identical results and identical
+// accounting at every dop (only wall-clock and the energy window change).
+//
+// The operator doubles as a MorselSource: parallel consumers (partitioned
+// aggregation, the hash-join probe) pull morsels directly inside their own
+// worker tasks instead of serializing through Next(), keeping the whole
+// scan->filter->consume pipeline inside one worker per morsel.
+
+#ifndef ECODB_EXEC_PARALLEL_SCAN_H_
+#define ECODB_EXEC_PARALLEL_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "exec/scan.h"
+#include "exec/worker_pool.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::exec {
+
+/// A pipeline source that can hand out independent morsels. ProduceMorsel
+/// must be safe to call concurrently for distinct indexes once Open() has
+/// returned.
+class MorselSource {
+ public:
+  virtual ~MorselSource() = default;
+
+  /// Number of morsels (valid after Open).
+  virtual size_t morsel_count() const = 0;
+
+  /// Materializes morsel `index` into `out`, tallying the work into `acc`
+  /// (rows_in = rows scanned, rows_out = rows surviving local filtering).
+  virtual Status ProduceMorsel(size_t index, RecordBatch* out,
+                               WorkAccumulator* acc) const = 0;
+};
+
+/// Splits selected row ranges into morsels of ~`target_rows`, aligned to
+/// multiples of `block_rows` (pass 0 or 1 when the table has no zone maps).
+std::vector<ScanRowRange> MorselizeRanges(
+    const std::vector<ScanRowRange>& ranges, size_t block_rows,
+    size_t target_rows);
+
+class ParallelTableScanOp final : public Operator, public MorselSource {
+ public:
+  /// Projects `columns` (empty = all) from `table`. `prune_filter` drives
+  /// zone-map block skipping; `exact_filter` (may alias prune_filter) is
+  /// applied row-exactly inside each morsel.
+  ParallelTableScanOp(const storage::TableStorage* table,
+                      std::vector<std::string> columns = {},
+                      ExprPtr prune_filter = nullptr,
+                      ExprPtr exact_filter = nullptr);
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+  // MorselSource:
+  size_t morsel_count() const override { return morsels_.size(); }
+  Status ProduceMorsel(size_t index, RecordBatch* out,
+                       WorkAccumulator* acc) const override;
+
+  /// Blocks skipped by zone-map pruning during Open (matches the serial
+  /// scan for the same table and filter).
+  size_t blocks_skipped() const { return blocks_skipped_; }
+
+ private:
+  /// Runs the pool over all morsels into slots_ (standalone Operator use).
+  Status Materialize();
+
+  const storage::TableStorage* table_;
+  std::vector<std::string> column_names_;
+  std::vector<int> column_indexes_;
+  ExprPtr prune_filter_;
+  ExprPtr exact_filter_;
+  catalog::Schema schema_;
+
+  /// Per projected column: borrowed uncompressed lane or owned decode.
+  std::vector<const storage::ColumnData*> sources_;
+  std::vector<storage::ColumnData> owned_decodes_;
+
+  std::vector<ScanRowRange> morsels_;
+  size_t blocks_skipped_ = 0;
+  std::vector<RecordBatch> slots_;  // per-morsel output, emitted in order
+  bool materialized_ = false;
+  size_t cursor_ = 0;
+  ExecContext* ctx_ = nullptr;
+  bool open_ = false;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_PARALLEL_SCAN_H_

@@ -132,6 +132,88 @@ std::vector<bool> ZoneBlocksMayMatch(const ExprPtr& e,
   }
 }
 
+ScanPruning PruneScan(const ExprPtr& filter,
+                      const storage::TableStorage& table) {
+  ScanPruning out;
+  const size_t total_rows = table.row_count();
+  const bool pruning =
+      filter != nullptr && !table.zone_maps().empty() && total_rows > 0;
+  if (!pruning) {
+    out.ranges.push_back({0, total_rows});
+    return out;
+  }
+  const std::vector<bool> keep = ZoneBlocksMayMatch(filter, table);
+  const size_t block_rows = table.zone_maps().block_rows;
+  size_t kept_blocks = 0;
+  for (size_t b = 0; b < keep.size(); ++b) {
+    if (!keep[b]) {
+      ++out.blocks_skipped;
+      continue;
+    }
+    ++kept_blocks;
+    const size_t begin = b * block_rows;
+    const size_t end = std::min(total_rows, begin + block_rows);
+    if (!out.ranges.empty() && out.ranges.back().end == begin) {
+      out.ranges.back().end = end;  // coalesce adjacent blocks
+    } else {
+      out.ranges.push_back({begin, end});
+    }
+  }
+  out.selected_fraction = keep.empty()
+                              ? 1.0
+                              : static_cast<double>(kept_blocks) /
+                                    static_cast<double>(keep.size());
+  return out;
+}
+
+uint64_t ScanTransferBytes(const storage::TableStorage& table,
+                           const std::vector<int>& column_indexes,
+                           double selected_fraction) {
+  // Skipped blocks skip their bytes for prunable storage (uncompressed
+  // columns / row layout); whole-column codecs must still stream fully.
+  if (table.layout() == storage::TableLayout::kRow) {
+    return static_cast<uint64_t>(
+        static_cast<double>(table.ScanBytes(column_indexes)) *
+        selected_fraction);
+  }
+  uint64_t bytes = 0;
+  for (int idx : column_indexes) {
+    const storage::ColumnLayout& layout = table.column_layout(idx);
+    if (layout.compression == storage::CompressionKind::kNone) {
+      bytes += static_cast<uint64_t>(
+          static_cast<double>(layout.encoded_bytes) * selected_fraction);
+    } else {
+      bytes += layout.encoded_bytes;
+    }
+  }
+  return bytes;
+}
+
+double ScanDecodeInstructions(const storage::TableStorage& table,
+                              const std::vector<int>& column_indexes,
+                              double selected_fraction) {
+  const double total_rows = static_cast<double>(table.row_count());
+  double decode_instr = 0.0;
+  for (int idx : column_indexes) {
+    const storage::ColumnLayout& layout = table.column_layout(idx);
+    double per_value = 1.0;
+    double rows = total_rows * selected_fraction;
+    if (layout.compression == storage::CompressionKind::kDictionary) {
+      per_value = storage::StringDictionaryCodec()
+                      .cost_profile()
+                      .decode_instructions_per_value;
+      rows = total_rows;  // whole-column decode
+    } else if (layout.compression != storage::CompressionKind::kNone) {
+      per_value = storage::MakeInt64Codec(layout.compression)
+                      ->cost_profile()
+                      .decode_instructions_per_value;
+      rows = total_rows;
+    }
+    decode_instr += per_value * rows;
+  }
+  return decode_instr;
+}
+
 TableScanOp::TableScanOp(const storage::TableStorage* table,
                          std::vector<std::string> columns,
                          ExprPtr prune_filter)
@@ -159,57 +241,14 @@ Status TableScanOp::Open(ExecContext* ctx) {
   schema_ = table_->schema().ProjectIndexes(column_indexes_);
 
   // --- Zone-map pruning: selected row ranges + the surviving fraction.
-  const size_t total_rows = table_->row_count();
-  ranges_.clear();
-  blocks_skipped_ = 0;
-  double selected_fraction = 1.0;
-  const bool pruning = prune_filter_ != nullptr &&
-                       !table_->zone_maps().empty() && total_rows > 0;
-  if (pruning) {
-    const std::vector<bool> keep = ZoneBlocksMayMatch(prune_filter_, *table_);
-    const size_t block_rows = table_->zone_maps().block_rows;
-    size_t kept_blocks = 0;
-    for (size_t b = 0; b < keep.size(); ++b) {
-      if (!keep[b]) {
-        ++blocks_skipped_;
-        continue;
-      }
-      ++kept_blocks;
-      const size_t begin = b * block_rows;
-      const size_t end = std::min(total_rows, begin + block_rows);
-      if (!ranges_.empty() && ranges_.back().end == begin) {
-        ranges_.back().end = end;  // coalesce adjacent blocks
-      } else {
-        ranges_.push_back({begin, end});
-      }
-    }
-    selected_fraction = keep.empty()
-                            ? 1.0
-                            : static_cast<double>(kept_blocks) /
-                                  static_cast<double>(keep.size());
-  } else {
-    ranges_.push_back({0, total_rows});
-  }
+  ScanPruning pruning = PruneScan(prune_filter_, *table_);
+  ranges_ = std::move(pruning.ranges);
+  blocks_skipped_ = pruning.blocks_skipped;
 
-  // --- Device transfer. Skipped blocks skip their bytes for prunable
-  // storage (uncompressed columns / row layout); whole-column codecs must
-  // still stream fully.
-  uint64_t bytes = 0;
-  if (table_->layout() == storage::TableLayout::kRow) {
-    bytes = static_cast<uint64_t>(
-        static_cast<double>(table_->ScanBytes(column_indexes_)) *
-        selected_fraction);
-  } else {
-    for (int idx : column_indexes_) {
-      const storage::ColumnLayout& layout = table_->column_layout(idx);
-      if (layout.compression == storage::CompressionKind::kNone) {
-        bytes += static_cast<uint64_t>(
-            static_cast<double>(layout.encoded_bytes) * selected_fraction);
-      } else {
-        bytes += layout.encoded_bytes;
-      }
-    }
-  }
+  // --- Device transfer (skipped blocks skip their bytes where the storage
+  // format allows it).
+  const uint64_t bytes =
+      ScanTransferBytes(*table_, column_indexes_, pruning.selected_fraction);
   if (bytes > 0 && table_->device() != nullptr) {
     ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true);
   }
@@ -217,28 +256,15 @@ Status TableScanOp::Open(ExecContext* ctx) {
   // --- Real decode of compressed columns + per-value touch cost.
   decoded_.clear();
   decoded_.reserve(column_indexes_.size());
-  double decode_instr = 0.0;
   for (int idx : column_indexes_) {
     ECODB_ASSIGN_OR_RETURN(storage::ColumnData data,
                            table_->ReadColumn(idx));
     decoded_.push_back(std::move(data));
-    const storage::ColumnLayout& layout = table_->column_layout(idx);
-    double per_value = 1.0;
-    double rows = static_cast<double>(total_rows) * selected_fraction;
-    if (layout.compression == storage::CompressionKind::kDictionary) {
-      per_value = storage::StringDictionaryCodec()
-                      .cost_profile()
-                      .decode_instructions_per_value;
-      rows = static_cast<double>(total_rows);  // whole-column decode
-    } else if (layout.compression != storage::CompressionKind::kNone) {
-      per_value = storage::MakeInt64Codec(layout.compression)
-                      ->cost_profile()
-                      .decode_instructions_per_value;
-      rows = static_cast<double>(total_rows);
-    }
-    decode_instr += per_value * rows;
   }
-  ctx->ChargeInstructions(decode_instr * ctx->options().costs.decode_scale);
+  ctx->ChargeInstructions(
+      ScanDecodeInstructions(*table_, column_indexes_,
+                             pruning.selected_fraction) *
+      ctx->options().costs.decode_scale);
 
   range_idx_ = 0;
   cursor_ = ranges_.empty() ? 0 : ranges_[0].begin;

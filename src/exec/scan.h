@@ -31,6 +31,41 @@ namespace ecodb::exec {
 std::vector<bool> ZoneBlocksMayMatch(const ExprPtr& filter,
                                      const storage::TableStorage& table);
 
+/// A half-open run of selected row positions.
+struct ScanRowRange {
+  size_t begin;
+  size_t end;
+};
+
+/// Outcome of zone-map pruning: the surviving row ranges (block-aligned,
+/// ascending, adjacent blocks coalesced) plus skip statistics.
+struct ScanPruning {
+  std::vector<ScanRowRange> ranges;
+  size_t blocks_skipped = 0;
+  double selected_fraction = 1.0;
+};
+
+/// Evaluates `filter` against `table`'s zone maps into the selected row
+/// ranges. With a null filter, no zone maps, or an empty table, everything
+/// is selected. Every serial or parallel scan and the planner's estimator
+/// use this one routine, so `blocks_skipped` agrees across all of them.
+ScanPruning PruneScan(const ExprPtr& filter,
+                      const storage::TableStorage& table);
+
+/// Device bytes a scan of `column_indexes` must transfer when only
+/// `selected_fraction` of blocks survive pruning (whole-column codecs and
+/// row-layout pages cannot skip partial transfers the same way).
+uint64_t ScanTransferBytes(const storage::TableStorage& table,
+                           const std::vector<int>& column_indexes,
+                           double selected_fraction);
+
+/// Modeled decode instructions for the same scan (per-value touch for
+/// uncompressed lanes, codec decode cost for compressed ones, which always
+/// decode the whole column).
+double ScanDecodeInstructions(const storage::TableStorage& table,
+                              const std::vector<int>& column_indexes,
+                              double selected_fraction);
+
 class TableScanOp final : public Operator {
  public:
   /// Projects `columns` (empty = all columns) from `table`. A non-null
@@ -50,18 +85,13 @@ class TableScanOp final : public Operator {
   size_t blocks_skipped() const { return blocks_skipped_; }
 
  private:
-  struct RowRange {
-    size_t begin;
-    size_t end;
-  };
-
   const storage::TableStorage* table_;
   std::vector<std::string> column_names_;
   std::vector<int> column_indexes_;
   ExprPtr prune_filter_;
   catalog::Schema schema_;
   std::vector<storage::ColumnData> decoded_;
-  std::vector<RowRange> ranges_;  // selected row ranges, ascending
+  std::vector<ScanRowRange> ranges_;  // selected row ranges, ascending
   size_t range_idx_ = 0;
   size_t cursor_ = 0;
   size_t batch_rows_ = kDefaultBatchRows;

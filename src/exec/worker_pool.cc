@@ -1,0 +1,75 @@
+#include "exec/worker_pool.h"
+
+#include <cassert>
+
+namespace ecodb::exec {
+
+WorkerPool::WorkerPool(int parallelism) : parallelism_(parallelism) {
+  assert(parallelism >= 1);
+  threads_.reserve(static_cast<size_t>(parallelism_ - 1));
+  for (int slot = 1; slot < parallelism_; ++slot) {
+    threads_.emplace_back([this, slot] {
+      uint64_t seen = 0;
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        work_cv_.wait(lock, [&] { return shutdown_ || job_seq_ != seen; });
+        if (shutdown_) return;
+        seen = job_seq_;
+        lock.unlock();
+        ClaimLoop(slot);
+        lock.lock();
+        if (++participants_done_ == static_cast<size_t>(parallelism_)) {
+          done_cv_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ClaimLoop(int slot) {
+  while (true) {
+    const size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks_) return;
+    const Status s = (*task_)(t, slot);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = s;
+      // Park the ticket past the end so no further tasks start.
+      next_task_.store(num_tasks_, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status WorkerPool::Run(size_t num_tasks, const Task& fn) {
+  if (num_tasks == 0) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(task_ == nullptr && "WorkerPool::Run is not reentrant");
+    task_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    first_error_ = Status::OK();
+    participants_done_ = 0;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  ClaimLoop(/*slot=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++participants_done_;
+  done_cv_.wait(lock, [&] {
+    return participants_done_ == static_cast<size_t>(parallelism_);
+  });
+  task_ = nullptr;
+  return first_error_;
+}
+
+}  // namespace ecodb::exec

@@ -6,6 +6,7 @@ namespace ecodb::optimizer {
 
 void ResourceEstimate::Merge(const ResourceEstimate& other) {
   cpu_instructions += other.cpu_instructions;
+  serial_cpu_instructions += other.serial_cpu_instructions;
   for (const auto& [dev, bytes] : other.device_bytes) {
     device_bytes[dev] += bytes;
   }
@@ -38,10 +39,16 @@ PlanCost CostModel::Price(const ResourceEstimate& demand, int dop,
   const power::CpuPowerModel& cpu = platform_->cpu();
   const int cores = std::min(dop, cpu.total_cores());
 
-  // Time: CPU elapsed vs the slowest device stream (they overlap).
-  const double cpu_core_seconds =
+  // Time: CPU elapsed vs the slowest device stream (they overlap). Only
+  // the parallelizable instructions divide across cores (Amdahl); with no
+  // serial portion this reduces exactly to core_seconds / cores.
+  const double parallel_seconds =
       cpu.SecondsForInstructions(demand.cpu_instructions, pstate);
-  const double cpu_elapsed = cpu_core_seconds / static_cast<double>(cores);
+  const double serial_seconds =
+      cpu.SecondsForInstructions(demand.serial_cpu_instructions, pstate);
+  const double cpu_core_seconds = parallel_seconds + serial_seconds;
+  const double cpu_elapsed =
+      serial_seconds + parallel_seconds / static_cast<double>(cores);
   double io_elapsed = 0.0;
   double io_joules = 0.0;
   std::map<const storage::StorageDevice*, double> per_device_seconds;

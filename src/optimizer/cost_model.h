@@ -53,7 +53,14 @@ struct PlanCost {
 /// converted to PlanCost at the end (so overlap across phases is priced the
 /// same way the executor measures it).
 struct ResourceEstimate {
+  /// CPU work that parallelizes across the plan's dop (scans, filters,
+  /// probes, aggregate updates).
   double cpu_instructions = 0.0;
+  /// Additional CPU work confined to one core regardless of dop (hash
+  /// builds, sorts, final merges, index descents). Amdahl's law: elapsed =
+  /// serial_seconds + parallel_seconds / cores, while busy core-seconds —
+  /// and so active CPU energy — always cover both terms in full.
+  double serial_cpu_instructions = 0.0;
   /// I/O demand per device (keyed by device pointer; stable during a plan).
   std::map<const storage::StorageDevice*, uint64_t> device_bytes;
   /// Random page reads per device (index descents, heap fetches); each

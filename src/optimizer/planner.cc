@@ -8,6 +8,8 @@
 #include "exec/filter_project.h"
 #include "exec/index_scan.h"
 #include "exec/joins.h"
+#include "exec/parallel_aggregate.h"
+#include "exec/parallel_scan.h"
 #include "exec/scan.h"
 
 namespace ecodb::optimizer {
@@ -108,57 +110,23 @@ double RowWidthOf(const storage::TableStorage& table,
   return width;
 }
 
-/// Zone-pruned scan demand, mirroring TableScanOp's charging rules.
+/// Zone-pruned scan demand, built from the exact helpers TableScanOp and
+/// ParallelTableScanOp charge with — estimator and executor cannot drift.
 ResourceEstimate PrunedScanDemand(const storage::TableStorage& table,
                                   const std::vector<int>& col_indexes,
                                   const exec::ExprPtr& filter,
                                   double decode_scale) {
   ResourceEstimate demand;
-  double fraction = 1.0;
-  if (filter != nullptr && !table.zone_maps().empty() &&
-      table.row_count() > 0) {
-    const std::vector<bool> keep = exec::ZoneBlocksMayMatch(filter, table);
-    if (!keep.empty()) {
-      size_t kept = 0;
-      for (bool k : keep) kept += k;
-      fraction = static_cast<double>(kept) / static_cast<double>(keep.size());
-    }
-  }
-
-  uint64_t bytes = 0;
-  double decode_instr = 0.0;
-  const double rows = static_cast<double>(table.row_count());
-  if (table.layout() == storage::TableLayout::kRow) {
-    bytes = static_cast<uint64_t>(
-        static_cast<double>(table.ScanBytes(col_indexes)) * fraction);
-    decode_instr = rows * fraction * static_cast<double>(col_indexes.size());
-  } else {
-    for (int idx : col_indexes) {
-      const storage::ColumnLayout& layout = table.column_layout(idx);
-      if (layout.compression == storage::CompressionKind::kNone) {
-        bytes += static_cast<uint64_t>(
-            static_cast<double>(layout.encoded_bytes) * fraction);
-        decode_instr += rows * fraction;
-      } else {
-        bytes += layout.encoded_bytes;
-        double per_value = 1.0;
-        if (layout.compression == storage::CompressionKind::kDictionary) {
-          per_value = storage::StringDictionaryCodec()
-                          .cost_profile()
-                          .decode_instructions_per_value;
-        } else {
-          per_value = storage::MakeInt64Codec(layout.compression)
-                          ->cost_profile()
-                          .decode_instructions_per_value;
-        }
-        decode_instr += per_value * rows;
-      }
-    }
-  }
+  const exec::ScanPruning pruning = exec::PruneScan(filter, table);
+  const uint64_t bytes =
+      exec::ScanTransferBytes(table, col_indexes, pruning.selected_fraction);
   if (bytes > 0 && table.device() != nullptr) {
     demand.device_bytes[table.device()] += bytes;
   }
-  demand.cpu_instructions = decode_instr * decode_scale;
+  demand.cpu_instructions =
+      exec::ScanDecodeInstructions(table, col_indexes,
+                                   pruning.selected_fraction) *
+      decode_scale;
   return demand;
 }
 
@@ -449,9 +417,13 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
       int64_t lo = INT64_MIN, hi = INT64_MAX;
       if (ExtractKeyRange(side.filter, side.index_column, &lo, &hi)) {
         d = IndexScanDemand(t, *side.index, lo, hi, out_rows, cols.size());
+        // Index descents are pointer chases on one core; the executor does
+        // not parallelize this path.
+        d.serial_cpu_instructions = d.cpu_instructions;
+        d.cpu_instructions = 0.0;
         // Exact residual filtering over the fetched rows.
         if (side.filter != nullptr) {
-          d.cpu_instructions +=
+          d.serial_cpu_instructions +=
               side.filter->InstructionsPerRow() * out_rows;
         }
         return d;
@@ -486,11 +458,14 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
     const double rrows = cards.right_rows;
     const double lwidth = RowWidthOf(lt, lcols);
     const double rwidth = RowWidthOf(rt, rcols);
+    // Serial vs parallel attribution mirrors the executor: hash builds,
+    // sorts, and nested-loop emission run on one core; the hash probe runs
+    // morsel-parallel over the left scan.
     switch (plan.join_algo) {
       case JoinAlgorithm::kHash: {
         const double build_bytes = rrows * (rwidth + 32.0);
-        demand.cpu_instructions += k.hash_build_per_row * rrows +
-                                   k.hash_probe_per_row * lrows +
+        demand.serial_cpu_instructions += k.hash_build_per_row * rrows;
+        demand.cpu_instructions += k.hash_probe_per_row * lrows +
                                    k.output_per_row * cards.join_rows;
         demand.dram_traffic_bytes += static_cast<uint64_t>(build_bytes);
         resident_bytes += build_bytes;
@@ -498,8 +473,8 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
       }
       case JoinAlgorithm::kHashSwapped: {
         const double build_bytes = lrows * (lwidth + 32.0);
-        demand.cpu_instructions += k.hash_build_per_row * lrows +
-                                   k.hash_probe_per_row * rrows +
+        demand.serial_cpu_instructions += k.hash_build_per_row * lrows;
+        demand.cpu_instructions += k.hash_probe_per_row * rrows +
                                    k.output_per_row * cards.join_rows;
         demand.dram_traffic_bytes += static_cast<uint64_t>(build_bytes);
         resident_bytes += build_bytes;
@@ -509,15 +484,15 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
         const auto nlogn = [](double n) {
           return n > 1 ? n * std::log2(n) : 0.0;
         };
-        demand.cpu_instructions += k.sort_per_row_log_row *
-                                       (nlogn(lrows) + nlogn(rrows)) +
-                                   2.0 * (lrows + rrows) +
-                                   k.output_per_row * cards.join_rows;
+        demand.serial_cpu_instructions +=
+            k.sort_per_row_log_row * (nlogn(lrows) + nlogn(rrows)) +
+            2.0 * (lrows + rrows) + k.output_per_row * cards.join_rows;
         break;
       }
       case JoinAlgorithm::kNestedLoop: {
-        demand.cpu_instructions += k.nl_join_inner_per_pair * lrows * rrows +
-                                   k.output_per_row * cards.join_rows;
+        demand.serial_cpu_instructions +=
+            k.nl_join_inner_per_pair * lrows * rrows +
+            k.output_per_row * cards.join_rows;
         break;
       }
     }
@@ -526,8 +501,10 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
   if (!spec.aggregates.empty()) {
     const double in_rows =
         spec.right.has_value() ? cards.join_rows : cards.left_rows;
-    demand.cpu_instructions += k.agg_update_per_row * in_rows +
-                               k.output_per_row * cards.output_rows;
+    // Group updates run in thread-local partials; the merged-table emission
+    // is the coordinator's.
+    demand.cpu_instructions += k.agg_update_per_row * in_rows;
+    demand.serial_cpu_instructions += k.output_per_row * cards.output_rows;
     demand.dram_traffic_bytes +=
         static_cast<uint64_t>(cards.output_rows * 64.0);
   }
@@ -619,6 +596,7 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
     const QuerySpec& spec, const PhysicalPlan& plan) const {
   using exec::OperatorPtr;
 
+  const bool parallel = plan.dop > 1;
   auto build_side = [&](const TableAlternatives& side, bool is_left,
                         int variant, AccessPath path) -> OperatorPtr {
     const storage::TableStorage& t = *side.variants[variant];
@@ -629,6 +607,12 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
         ExtractKeyRange(side.filter, side.index_column, &lo, &hi)) {
       scan = std::make_unique<exec::IndexScanOp>(&t, side.index, cols, lo,
                                                  hi);
+    } else if (parallel) {
+      // Morsel-parallel scan with the exact filter fused into the morsel
+      // loop (no separate FilterOp; results and accounting match the
+      // serial scan+filter pair).
+      return std::make_unique<exec::ParallelTableScanOp>(
+          &t, cols, side.filter, side.filter);
     } else {
       // Sequential scan with zone-map pruning when available.
       scan = std::make_unique<exec::TableScanOp>(&t, cols, side.filter);
@@ -681,10 +665,22 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
   }
 
   if (!spec.aggregates.empty()) {
-    root = std::make_unique<exec::HashAggregateOp>(
-        std::move(root), spec.group_by, spec.aggregates);
+    if (parallel) {
+      root = std::make_unique<exec::ParallelHashAggregateOp>(
+          std::move(root), spec.group_by, spec.aggregates);
+    } else {
+      root = std::make_unique<exec::HashAggregateOp>(
+          std::move(root), spec.group_by, spec.aggregates);
+    }
   }
   return root;
+}
+
+std::vector<int> DopLadder(int max_dop) {
+  std::vector<int> dops;
+  for (int d = 1; d <= std::max(1, max_dop); d *= 2) dops.push_back(d);
+  if (dops.back() != max_dop && max_dop > 1) dops.push_back(max_dop);
+  return dops;
 }
 
 }  // namespace ecodb::optimizer

@@ -88,6 +88,10 @@ struct PlannerOptions {
   bool enumerate_join_algorithms = true;
 };
 
+/// Power-of-two dop candidates up to `max_dop` (always includes `max_dop`
+/// itself), e.g. 6 -> {1, 2, 4, 6}. Convenient for PlannerOptions::dops.
+std::vector<int> DopLadder(int max_dop);
+
 class Planner {
  public:
   /// `model` must outlive the planner.

@@ -1,5 +1,6 @@
 #include "power/platform.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ecodb::power {
@@ -19,9 +20,17 @@ HardwarePlatform::HardwarePlatform(CpuSpec cpu, DramSpec dram,
 
 void HardwarePlatform::ChargeCpuAt(double t_end, double core_seconds,
                                    int pstate) {
+  ChargeCpuCoresAt(t_end, core_seconds, /*active_cores=*/1, pstate);
+}
+
+void HardwarePlatform::ChargeCpuCoresAt(double t_end, double core_seconds,
+                                        int active_cores, int pstate) {
   assert(core_seconds >= 0);
+  assert(active_cores >= 1);
+  const int cores = std::min(active_cores, cpu_.total_cores());
   const double joules =
-      cpu_.spec().pstates[pstate].core_active_watts * core_seconds;
+      cpu_.spec().pstates[pstate].core_active_watts * core_seconds +
+      cpu_.spec().core_wake_joules * static_cast<double>(cores - 1);
   meter_.AddEnergyAt(cpu_channel_, t_end, joules, core_seconds);
 }
 

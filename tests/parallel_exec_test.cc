@@ -1,0 +1,432 @@
+// Tests for the morsel-driven parallel execution layer: the worker pool,
+// morselization, and the parallel scan / aggregate / join-probe operators.
+//
+// The central invariant under test is energy-consistent determinism: a query
+// must return byte-identical results AND identical modeled accounting
+// (instructions, I/O bytes, busy core-seconds) at every dop — parallelism is
+// only allowed to shorten the simulated critical path and the energy window.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/joins.h"
+#include "exec/operator.h"
+#include "exec/parallel_aggregate.h"
+#include "exec/parallel_scan.h"
+#include "exec/scan.h"
+#include "exec/worker_pool.h"
+#include "power/platform.h"
+#include "storage/ssd.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::exec {
+namespace {
+
+using catalog::Column;
+using catalog::DataType;
+using catalog::Schema;
+
+// --- WorkerPool ---------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  std::vector<int> hits(1000, 0);  // distinct claimed indexes: no races
+  ASSERT_TRUE(pool.Run(hits.size(), [&](size_t t, int slot) -> Status {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 4);
+    ++hits[t];
+    return Status::OK();
+  }).ok());
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPoolTest, ParallelismOneRunsInlineOnSlotZero) {
+  WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  ASSERT_TRUE(pool.Run(10, [&](size_t, int slot) -> Status {
+    EXPECT_EQ(slot, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return Status::OK();
+  }).ok());
+}
+
+TEST(WorkerPoolTest, PropagatesFirstTaskError) {
+  WorkerPool pool(4);
+  const Status status = pool.Run(100, [&](size_t t, int) -> Status {
+    if (t == 37) return Status::Internal("task 37 failed");
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossRuns) {
+  WorkerPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.Run(17, [&](size_t, int) -> Status {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }).ok());
+    EXPECT_EQ(ran.load(), 17);
+  }
+}
+
+TEST(WorkerPoolTest, RecoversAfterError) {
+  WorkerPool pool(2);
+  EXPECT_FALSE(pool.Run(5, [&](size_t, int) -> Status {
+    return Status::Internal("boom");
+  }).ok());
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Run(5, [&](size_t, int) -> Status {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(ran.load(), 5);
+}
+
+// --- MorselizeRanges ----------------------------------------------------------
+
+TEST(MorselizeRangesTest, AlignsCutsToZoneBlocks) {
+  // target 2500 with 1000-row blocks rounds up to 3000-row morsels.
+  const auto morsels = MorselizeRanges({{0, 10000}}, 1000, 2500);
+  ASSERT_EQ(morsels.size(), 4u);
+  size_t covered = 0;
+  for (size_t i = 0; i < morsels.size(); ++i) {
+    if (i + 1 < morsels.size()) {
+      EXPECT_EQ((morsels[i].end - morsels[i].begin) % 1000, 0u);
+      EXPECT_EQ(morsels[i].end, morsels[i + 1].begin);
+    }
+    covered += morsels[i].end - morsels[i].begin;
+  }
+  EXPECT_EQ(morsels.front().begin, 0u);
+  EXPECT_EQ(morsels.back().end, 10000u);
+  EXPECT_EQ(covered, 10000u);
+}
+
+TEST(MorselizeRangesTest, PreservesDisjointRanges) {
+  const auto morsels = MorselizeRanges({{0, 1000}, {3000, 3500}}, 500, 600);
+  // step = 1000; first range splits into one morsel, second stays whole.
+  ASSERT_EQ(morsels.size(), 2u);
+  EXPECT_EQ(morsels[0].begin, 0u);
+  EXPECT_EQ(morsels[0].end, 1000u);
+  EXPECT_EQ(morsels[1].begin, 3000u);
+  EXPECT_EQ(morsels[1].end, 3500u);
+}
+
+TEST(MorselizeRangesTest, NoZoneMapsFallsBackToTargetRows) {
+  const auto morsels = MorselizeRanges({{0, 100}}, 0, 32);
+  ASSERT_EQ(morsels.size(), 4u);
+  EXPECT_EQ(morsels[0].end, 32u);
+  EXPECT_EQ(morsels.back().end, 100u);
+}
+
+// --- Operator fixture ---------------------------------------------------------
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  ParallelExecTest() : platform_(power::MakeProportionalPlatform()) {
+    ssd_ = std::make_unique<storage::SsdDevice>("s0", power::SsdSpec{},
+                                                platform_->meter());
+  }
+
+  // A lineitem-flavoured table. All doubles are multiples of 0.25 so any
+  // summation order produces the same bits (exact in binary floating point).
+  std::unique_ptr<storage::TableStorage> MakeLineitem(int n,
+                                                      size_t zone_block_rows,
+                                                      bool on_device = true) {
+    Schema schema({Column{"id", DataType::kInt64, 8},
+                   Column{"part", DataType::kInt64, 8},
+                   Column{"qty", DataType::kDouble, 8},
+                   Column{"flag", DataType::kString, 2}});
+    auto table = std::make_unique<storage::TableStorage>(
+        1, schema, storage::TableLayout::kColumn,
+        on_device ? ssd_.get() : nullptr);
+    std::vector<storage::ColumnData> cols(4);
+    cols[0].type = DataType::kInt64;
+    cols[1].type = DataType::kInt64;
+    cols[2].type = DataType::kDouble;
+    cols[3].type = DataType::kString;
+    for (int i = 0; i < n; ++i) {
+      cols[0].i64.push_back(i);
+      cols[1].i64.push_back(i % 25);
+      cols[2].f64.push_back((i % 37) * 0.25);
+      cols[3].str.push_back(i % 3 ? "N" : "R");
+    }
+    EXPECT_TRUE(table->Append(cols).ok());
+    if (zone_block_rows > 0) {
+      EXPECT_TRUE(table->BuildZoneMaps(zone_block_rows).ok());
+    }
+    return table;
+  }
+
+  struct RunOutcome {
+    std::vector<std::vector<Value>> rows;
+    QueryStats stats;
+  };
+
+  RunOutcome Run(Operator* root, int dop, size_t morsel_rows = 1024) {
+    ExecOptions options;
+    options.dop = dop;
+    options.morsel_rows = morsel_rows;
+    ExecContext ctx(platform_.get(), options);
+    auto result = CollectAll(root, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    RunOutcome out;
+    out.stats = ctx.Finish();
+    if (!result.ok()) return out;
+    const size_t ncols = static_cast<size_t>(result->schema.num_columns());
+    for (const auto& batch : result->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        std::vector<Value> row;
+        row.reserve(ncols);
+        for (size_t c = 0; c < ncols; ++c) row.push_back(batch.GetValue(r, c));
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<power::HardwarePlatform> platform_;
+  std::unique_ptr<storage::SsdDevice> ssd_;
+};
+
+// --- Parallel scan ------------------------------------------------------------
+
+TEST_F(ParallelExecTest, ScanMatchesSerialAtEveryDop) {
+  auto table = MakeLineitem(20000, 256);
+  const auto filter = [] { return Col("id") < Lit(int64_t{15000}); };
+
+  FilterOp serial(std::make_unique<TableScanOp>(
+                      table.get(), std::vector<std::string>{}, filter()),
+                  filter());
+  const RunOutcome base = Run(&serial, 1);
+
+  for (int dop : {1, 2, 4, 8}) {
+    ParallelTableScanOp scan(table.get(), {}, filter(), filter());
+    const RunOutcome got = Run(&scan, dop);
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;
+    EXPECT_EQ(got.stats.rows_emitted, base.stats.rows_emitted);
+    EXPECT_EQ(got.stats.io_bytes, base.stats.io_bytes);
+    EXPECT_DOUBLE_EQ(got.stats.cpu_instructions, base.stats.cpu_instructions)
+        << "dop=" << dop;
+    EXPECT_DOUBLE_EQ(got.stats.cpu_seconds, base.stats.cpu_seconds)
+        << "dop=" << dop;
+  }
+}
+
+TEST_F(ParallelExecTest, MorselSizeDoesNotChangeResultsOrAccounting) {
+  auto table = MakeLineitem(10000, 128);
+  const auto filter = [] { return Col("part") < Lit(int64_t{20}); };
+
+  std::vector<RunOutcome> outcomes;
+  for (size_t morsel_rows : {size_t{128}, size_t{1000}, size_t{100000}}) {
+    ParallelTableScanOp scan(table.get(), {}, nullptr, filter());
+    outcomes.push_back(Run(&scan, 4, morsel_rows));
+  }
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].rows, outcomes[0].rows);
+    EXPECT_DOUBLE_EQ(outcomes[i].stats.cpu_instructions,
+                     outcomes[0].stats.cpu_instructions);
+    EXPECT_EQ(outcomes[i].stats.io_bytes, outcomes[0].stats.io_bytes);
+  }
+}
+
+TEST_F(ParallelExecTest, ZoneMapPruningMatchesSerialUnderParallelScan) {
+  auto table = MakeLineitem(20000, 256);
+  // id < 4000 selects the first 16 of 79 blocks.
+  const auto filter = [] { return Col("id") < Lit(int64_t{4000}); };
+
+  TableScanOp serial(table.get(), {}, filter());
+  const RunOutcome base = Run(&serial, 1);
+  const size_t serial_skipped = serial.blocks_skipped();
+  EXPECT_GT(serial_skipped, 0u);
+
+  for (int dop : {2, 8}) {
+    ParallelTableScanOp scan(table.get(), {}, filter(), nullptr);
+    const RunOutcome got = Run(&scan, dop, /*morsel_rows=*/300);
+    EXPECT_EQ(scan.blocks_skipped(), serial_skipped) << "dop=" << dop;
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;
+    EXPECT_EQ(got.stats.io_bytes, base.stats.io_bytes) << "dop=" << dop;
+  }
+}
+
+// --- Parallel aggregation -----------------------------------------------------
+
+std::vector<AggregateItem> LineitemAggregates() {
+  std::vector<AggregateItem> aggs;
+  aggs.push_back({"total_qty", AggFunc::kSum, Col("qty")});
+  aggs.push_back({"n", AggFunc::kCount, nullptr});
+  aggs.push_back({"min_qty", AggFunc::kMin, Col("qty")});
+  aggs.push_back({"max_qty", AggFunc::kMax, Col("qty")});
+  aggs.push_back({"avg_qty", AggFunc::kAvg, Col("qty")});
+  return aggs;
+}
+
+TEST_F(ParallelExecTest, AggregateMatchesSerialAtEveryDop) {
+  auto table = MakeLineitem(30000, 256);
+  const auto filter = [] { return Col("id") < Lit(int64_t{27000}); };
+
+  HashAggregateOp serial(
+      std::make_unique<FilterOp>(
+          std::make_unique<TableScanOp>(table.get(), std::vector<std::string>{},
+                                        filter()),
+          filter()),
+      {"part", "flag"}, LineitemAggregates());
+  const RunOutcome base = Run(&serial, 1);
+  EXPECT_EQ(base.rows.size(), 50u);  // 25 parts x 2 flags
+
+  for (int dop : {1, 2, 4, 8}) {
+    ParallelHashAggregateOp agg(
+        std::make_unique<ParallelTableScanOp>(table.get(),
+                                              std::vector<std::string>{},
+                                              filter(), filter()),
+        {"part", "flag"}, LineitemAggregates());
+    const RunOutcome got = Run(&agg, dop);
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;  // byte-identical
+    EXPECT_DOUBLE_EQ(got.stats.cpu_instructions, base.stats.cpu_instructions)
+        << "dop=" << dop;
+  }
+}
+
+TEST_F(ParallelExecTest, GlobalAggregateMatchesSerial) {
+  auto table = MakeLineitem(5000, 128);
+  HashAggregateOp serial(std::make_unique<TableScanOp>(table.get()), {},
+                         LineitemAggregates());
+  const RunOutcome base = Run(&serial, 1);
+  ASSERT_EQ(base.rows.size(), 1u);
+
+  ParallelHashAggregateOp agg(
+      std::make_unique<ParallelTableScanOp>(table.get()), {},
+      LineitemAggregates());
+  const RunOutcome got = Run(&agg, 4);
+  EXPECT_EQ(got.rows, base.rows);
+}
+
+TEST_F(ParallelExecTest, ParallelAggregateFallsBackOnSerialChild) {
+  auto table = MakeLineitem(5000, 128);
+  HashAggregateOp serial(std::make_unique<TableScanOp>(table.get()), {"part"},
+                         LineitemAggregates());
+  const RunOutcome base = Run(&serial, 1);
+
+  // Child is a plain TableScanOp — not a MorselSource — so the parallel
+  // operator must drain it serially and still agree exactly.
+  ParallelHashAggregateOp agg(std::make_unique<TableScanOp>(table.get()),
+                              {"part"}, LineitemAggregates());
+  const RunOutcome got = Run(&agg, 4);
+  EXPECT_EQ(got.rows, base.rows);
+  EXPECT_DOUBLE_EQ(got.stats.cpu_instructions, base.stats.cpu_instructions);
+}
+
+// --- Parallel join probe ------------------------------------------------------
+
+TEST_F(ParallelExecTest, HashJoinProbeMatchesSerialAtEveryDop) {
+  auto probe = MakeLineitem(20000, 256);
+  auto build = MakeLineitem(200, 0);
+
+  HashJoinOp serial(
+      std::make_unique<TableScanOp>(probe.get(),
+                                    std::vector<std::string>{"id", "part"}),
+      std::make_unique<TableScanOp>(build.get(),
+                                    std::vector<std::string>{"part", "qty"}),
+      "part", "part");
+  const RunOutcome base = Run(&serial, 1);
+  EXPECT_GT(base.rows.size(), 0u);
+
+  for (int dop : {1, 2, 4, 8}) {
+    HashJoinOp join(
+        std::make_unique<ParallelTableScanOp>(
+            probe.get(), std::vector<std::string>{"id", "part"}),
+        std::make_unique<TableScanOp>(build.get(),
+                                      std::vector<std::string>{"part", "qty"}),
+        "part", "part");
+    const RunOutcome got = Run(&join, dop);
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;
+    EXPECT_DOUBLE_EQ(got.stats.cpu_instructions, base.stats.cpu_instructions)
+        << "dop=" << dop;
+  }
+}
+
+// --- Energy-consistent accounting ---------------------------------------------
+
+TEST_F(ParallelExecTest, DopShortensElapsedButNotBusyCoreSeconds) {
+  // Memory-resident table: the query is CPU-bound, so the CPU critical
+  // path IS the elapsed time and dop must shorten it.
+  auto table = MakeLineitem(50000, 256, /*on_device=*/false);
+
+  QueryStats s1, s4;
+  {
+    ParallelHashAggregateOp agg(
+        std::make_unique<ParallelTableScanOp>(table.get()), {"part"},
+        LineitemAggregates());
+    s1 = Run(&agg, 1).stats;
+  }
+  {
+    ParallelHashAggregateOp agg(
+        std::make_unique<ParallelTableScanOp>(table.get()), {"part"},
+        LineitemAggregates());
+    s4 = Run(&agg, 4).stats;
+  }
+
+  EXPECT_EQ(s1.active_cores, 1);
+  EXPECT_EQ(s4.active_cores, 4);
+
+  // Busy core-seconds — and so active CPU energy — are identical: four
+  // cores each run a quarter of the work (well within the 1% acceptance
+  // bound; the model makes it exact).
+  EXPECT_DOUBLE_EQ(s4.cpu_seconds, s1.cpu_seconds);
+  EXPECT_DOUBLE_EQ(s4.cpu_instructions, s1.cpu_instructions);
+
+  // The CPU critical path divides by the core count exactly.
+  EXPECT_DOUBLE_EQ(s1.cpu_elapsed_seconds, s1.cpu_seconds);
+  EXPECT_DOUBLE_EQ(s4.cpu_elapsed_seconds, s4.cpu_seconds / 4.0);
+  EXPECT_LT(s4.elapsed_seconds, s1.elapsed_seconds);
+}
+
+TEST_F(ParallelExecTest, DopBeyondPlatformCoresIsClamped) {
+  auto table = MakeLineitem(2000, 128);
+  ParallelTableScanOp scan(table.get());
+  const RunOutcome got = Run(&scan, 64);  // platform has 16 cores
+  EXPECT_EQ(got.stats.active_cores, 16);
+  EXPECT_EQ(got.stats.rows_emitted, 2000u);
+}
+
+// --- Real wall-clock speedup (only meaningful on a multi-core host) -----------
+
+TEST_F(ParallelExecTest, WallClockSpeedupOnMultiCoreHosts) {
+  if (std::thread::hardware_concurrency() < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads";
+  }
+  auto table = MakeLineitem(1000000, 4096);
+
+  const auto time_at_dop = [&](int dop) {
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      ParallelHashAggregateOp agg(
+          std::make_unique<ParallelTableScanOp>(
+              table.get(), std::vector<std::string>{"part", "qty"}),
+          {"part"}, LineitemAggregates());
+      const auto t0 = std::chrono::steady_clock::now();
+      Run(&agg, dop, /*morsel_rows=*/16384);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+
+  const double t1 = time_at_dop(1);
+  const double t4 = time_at_dop(4);
+  // Conservative bound (acceptance target is 2.5x on a quiet 4-core host;
+  // CI neighbours steal cycles).
+  EXPECT_GT(t1 / t4, 1.5) << "dop1=" << t1 << "s dop4=" << t4 << "s";
+}
+
+}  // namespace
+}  // namespace ecodb::exec
