@@ -1,14 +1,24 @@
 // JouleSort-style benchmark (Section 2.3 cites JouleSort [RSR+07]: "a
 // balanced energy-efficiency benchmark" measuring records sorted per Joule).
 //
-// The harness sorts a fixed record set through the engine's SortOp and
-// reports records/Joule across configurations that trade memory for I/O:
-// an in-memory sort, external sorts spilling to SSD and to disk, and a
-// low-power-CPU platform — the balance JouleSort is about.
+// The harness sorts a fixed record set through the engine's sort operators
+// and reports records/Joule across two sweeps:
+//
+//  1. Configuration sweep (serial SortOp): in-memory vs external sorts
+//     spilling to SSD and to disk, and a low-power-CPU platform — the
+//     memory/I/O/platform balance JouleSort is about.
+//  2. Dop sweep (morsel-parallel ParallelSortOp): dop 1/2/4/8, in-memory
+//     and spilling. Results and modeled charges are dop-invariant; only the
+//     CPU critical path — and with it the energy window — shrinks
+//     (race-to-idle). Emitted as schema-versioned JSON lines for plotting
+//     (see EXPERIMENTS.md "JouleSort methodology").
 
+#include <cinttypes>
 #include <memory>
 
 #include "bench_util.h"
+#include "exec/parallel_scan.h"
+#include "exec/parallel_sort.h"
 #include "exec/scan.h"
 #include "exec/sort_limit.h"
 #include "power/platform.h"
@@ -47,6 +57,10 @@ std::vector<storage::ColumnData> MakeRecords() {
 struct SortOutcome {
   double seconds = 0;
   double joules = 0;
+  double cpu_core_seconds = 0;
+  double cpu_elapsed_seconds = 0;
+  int active_cores = 1;
+  uint64_t io_bytes = 0;
   bool spilled = false;
   bool sorted = true;
   double RecordsPerJoule() const {
@@ -54,34 +68,65 @@ struct SortOutcome {
   }
 };
 
+/// Sorts `records` at the given dop. `parallel_op` selects ParallelSortOp
+/// behind a morsel-parallel scan (valid at any dop, including 1) vs the
+/// serial SortOp behind a sequential scan. Both return identically ordered
+/// rows, and ParallelSortOp's modeled charges are dop-invariant — the
+/// engine's determinism contract (DESIGN.md §7).
 SortOutcome RunSort(power::HardwarePlatform* platform,
                     storage::StorageDevice* table_device,
                     storage::StorageDevice* spill_device,
                     uint64_t memory_budget,
-                    const std::vector<storage::ColumnData>& records) {
+                    const std::vector<storage::ColumnData>& records,
+                    int dop, bool parallel_op) {
   storage::TableStorage table(1, RecordSchema(),
                               storage::TableLayout::kColumn, table_device);
   if (!table.Append(records).ok()) std::exit(1);
 
-  exec::ExecContext ctx(platform, exec::ExecOptions{});
-  exec::SortOp sort(std::make_unique<exec::TableScanOp>(&table),
-                    {{"key", true}}, memory_budget, spill_device);
-  auto result = exec::CollectAll(&sort, &ctx);
+  exec::ExecOptions options;
+  options.dop = dop;
+  exec::ExecContext ctx(platform, options);
+  const std::vector<exec::SortKey> keys = {{"key", true}};
+  exec::OperatorPtr root;
+  exec::ParallelSortOp* parallel_sort = nullptr;
+  exec::SortOp* serial_sort = nullptr;
+  if (parallel_op) {
+    auto op = std::make_unique<exec::ParallelSortOp>(
+        std::make_unique<exec::ParallelTableScanOp>(&table), keys,
+        memory_budget, spill_device);
+    parallel_sort = op.get();
+    root = std::move(op);
+  } else {
+    auto op = std::make_unique<exec::SortOp>(
+        std::make_unique<exec::TableScanOp>(&table), keys, memory_budget,
+        spill_device);
+    serial_sort = op.get();
+    root = std::move(op);
+  }
+  auto result = exec::CollectAll(root.get(), &ctx);
   if (!result.ok()) std::exit(1);
   const exec::QueryStats stats = ctx.Finish();
 
   SortOutcome out;
   out.seconds = stats.elapsed_seconds;
   out.joules = stats.Joules();
-  out.spilled = sort.spilled();
+  out.cpu_core_seconds = stats.cpu_seconds;
+  out.cpu_elapsed_seconds = stats.cpu_elapsed_seconds;
+  out.active_cores = stats.active_cores;
+  out.io_bytes = stats.io_bytes;
+  out.spilled =
+      parallel_sort ? parallel_sort->spilled() : serial_sort->spilled();
   int64_t prev = INT64_MIN;
+  size_t rows = 0;
   for (const auto& batch : result->batches) {
     for (size_t r = 0; r < batch.num_rows(); ++r) {
       const int64_t k = batch.column(0).i64[r];
       if (k < prev) out.sorted = false;
       prev = k;
+      ++rows;
     }
   }
+  if (rows != static_cast<size_t>(kRecords)) out.sorted = false;
   return out;
 }
 
@@ -91,7 +136,7 @@ int Main() {
   bench::Banner(
       "JouleSort-style: records sorted per Joule across configurations",
       "200k records (10 B key + 90 B payload modeled); in-memory vs "
-      "external sorts; server vs low-power platform");
+      "external sorts; server vs low-power platform; dop sweep");
 
   const auto records = MakeRecords();
   bench::Table table({"configuration", "time (s)", "energy (J)", "spilled",
@@ -121,8 +166,9 @@ int Main() {
     storage::StorageDevice* spill = c.spill_to_hdd
                                         ? static_cast<storage::StorageDevice*>(&hdd)
                                         : &ssd;
-    const SortOutcome out =
-        RunSort(platform.get(), &ssd, spill, c.budget, records);
+    const SortOutcome out = RunSort(platform.get(), &ssd, spill, c.budget,
+                                    records, /*dop=*/1,
+                                    /*parallel_op=*/false);
     outcomes.push_back(out);
     table.AddRow({c.name, bench::Fmt("%.3f", out.seconds),
                   bench::Fmt("%.1f", out.joules),
@@ -137,14 +183,60 @@ int Main() {
 
   // Shape: spilling costs energy; spilling to disk costs more than SSD;
   // the balanced low-power node wins records/Joule (JouleSort's finding).
-  const bool shape = outcomes[1].joules > outcomes[0].joules &&
-                     outcomes[2].joules > outcomes[1].joules &&
-                     outcomes[3].RecordsPerJoule() >
-                         outcomes[0].RecordsPerJoule();
+  bool shape = outcomes[1].joules > outcomes[0].joules &&
+               outcomes[2].joules > outcomes[1].joules &&
+               outcomes[3].RecordsPerJoule() >
+                   outcomes[0].RecordsPerJoule();
   std::printf("shape check (spill costs energy; disk > SSD; balanced "
-              "low-power node wins records/J): %s\n",
+              "low-power node wins records/J): %s\n\n",
               shape ? "PASS" : "FAIL");
-  return shape ? 0 : 1;
+
+  // --- Dop sweep: morsel-parallel external sort, JSON lines ---------------
+  // Header line pins the schema version and the workload; one line per
+  // (dop, spill) point follows. Busy core-seconds stay constant across dop
+  // while the CPU critical path shrinks — parallelism only narrows the
+  // energy window (race-to-idle), it never changes the modeled work.
+  std::printf("{\"schema\":\"ecodb.joulesort.v1\",\"records\":%d,"
+              "\"key_bytes\":10,\"payload_bytes\":90,\"platform\":\"dl785\"}"
+              "\n",
+              kRecords);
+  bool sweep_ok = true;
+  for (const bool spill : {false, true}) {
+    SortOutcome base;
+    for (const int dop : {1, 2, 4, 8}) {
+      auto platform = power::MakeDl785Platform();
+      storage::SsdDevice ssd("data-ssd", power::SsdSpec{}, platform->meter());
+      const SortOutcome out =
+          RunSort(platform.get(), &ssd, &ssd, spill ? tight : full, records,
+                  dop, /*parallel_op=*/true);
+      std::printf(
+          "{\"bench\":\"joulesort\",\"dop\":%d,\"spill\":\"%s\","
+          "\"sim_seconds\":%.6f,\"joules\":%.3f,\"records_per_joule\":%.1f,"
+          "\"cpu_core_seconds\":%.6f,\"cpu_elapsed_seconds\":%.6f,"
+          "\"active_cores\":%d,\"io_bytes\":%" PRIu64 "}\n",
+          dop, spill ? "ssd" : "none", out.seconds, out.joules,
+          out.RecordsPerJoule(), out.cpu_core_seconds,
+          out.cpu_elapsed_seconds, out.active_cores, out.io_bytes);
+      if (!out.sorted || out.spilled != spill) sweep_ok = false;
+      if (dop == 1) {
+        base = out;
+      } else {
+        // Modeled work is dop-invariant; the critical path is not.
+        if (std::abs(out.cpu_core_seconds - base.cpu_core_seconds) >
+            1e-9 * base.cpu_core_seconds) {
+          sweep_ok = false;
+        }
+        if (out.io_bytes != base.io_bytes) sweep_ok = false;
+        if (out.cpu_elapsed_seconds >= base.cpu_elapsed_seconds) {
+          sweep_ok = false;
+        }
+      }
+    }
+  }
+  std::printf("dop sweep check (busy core-seconds and io bytes constant; "
+              "cpu critical path shrinks with dop): %s\n",
+              sweep_ok ? "PASS" : "FAIL");
+  return (shape && sweep_ok) ? 0 : 1;
 }
 
 }  // namespace ecodb

@@ -53,8 +53,12 @@ StatusOr<std::unique_ptr<EcoDb>> EcoDb::Open(const DbConfig& config) {
 
   db->cost_model_ = std::make_unique<optimizer::CostModel>(
       db->platform_.get(), config.cost_params);
-  db->planner_ = std::make_unique<optimizer::Planner>(
-      db->cost_model_.get(), config.planner_options);
+  optimizer::PlannerOptions planner_options = config.planner_options;
+  if (config.derive_dop_ladder) {
+    planner_options.dops = optimizer::PlatformDopLadder(*db->platform_);
+  }
+  db->planner_ = std::make_unique<optimizer::Planner>(db->cost_model_.get(),
+                                                      planner_options);
   return db;
 }
 

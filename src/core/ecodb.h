@@ -53,6 +53,10 @@ struct DbConfig {
   exec::ExecOptions exec_options;
   optimizer::CostModelParams cost_params;
   optimizer::PlannerOptions planner_options;
+  /// Derive the planner's dop candidates from the platform's core count
+  /// (PlatformDopLadder) instead of planner_options.dops. Opt-in so
+  /// hand-tuned ladders keep working unchanged.
+  bool derive_dop_ladder = false;
 };
 
 /// Result of one query: rows, measured resource stats, chosen plan.

@@ -21,6 +21,11 @@ void ExecContext::ChargeInstructions(double instructions) {
   cpu_instructions_ += instructions;
 }
 
+void ExecContext::ChargeSerialInstructions(double instructions) {
+  assert(instructions >= 0);
+  serial_cpu_instructions_ += instructions;
+}
+
 void ExecContext::ChargeRead(storage::StorageDevice* device, uint64_t bytes,
                              bool sequential) {
   const storage::IoResult r =
@@ -59,9 +64,11 @@ WorkerPool* ExecContext::worker_pool() {
 
 double ExecContext::CpuElapsedSeconds() const {
   const int cores = std::min(options_.dop, platform_->cpu().total_cores());
-  const double core_seconds = platform_->cpu().SecondsForInstructions(
+  const double parallel_seconds = platform_->cpu().SecondsForInstructions(
       cpu_instructions_, options_.pstate);
-  return core_seconds / static_cast<double>(cores);
+  const double serial_seconds = platform_->cpu().SecondsForInstructions(
+      serial_cpu_instructions_, options_.pstate);
+  return serial_seconds + parallel_seconds / static_cast<double>(cores);
 }
 
 QueryStats ExecContext::Finish() {
@@ -72,8 +79,12 @@ QueryStats ExecContext::Finish() {
   // both sides busy), so the query ends when the slower side ends. The dop
   // shortens the CPU leg only; busy core-seconds — and therefore active CPU
   // energy — are the same at every dop.
-  const double cpu_core_seconds = platform_->cpu().SecondsForInstructions(
-      cpu_instructions_, options_.pstate);
+  const double serial_seconds = platform_->cpu().SecondsForInstructions(
+      serial_cpu_instructions_, options_.pstate);
+  const double cpu_core_seconds =
+      platform_->cpu().SecondsForInstructions(cpu_instructions_,
+                                              options_.pstate) +
+      serial_seconds;
   const double cpu_elapsed = CpuElapsedSeconds();
   const int active_cores =
       std::min(options_.dop, platform_->cpu().total_cores());
@@ -91,7 +102,8 @@ QueryStats ExecContext::Finish() {
   stats.elapsed_seconds = end_time - start_time_;
   stats.cpu_seconds = cpu_core_seconds;
   stats.cpu_elapsed_seconds = cpu_elapsed;
-  stats.cpu_instructions = cpu_instructions_;
+  stats.cpu_instructions = cpu_instructions_ + serial_cpu_instructions_;
+  stats.cpu_serial_seconds = serial_seconds;
   stats.active_cores = active_cores;
   stats.io_seconds = io_service_seconds_;
   stats.io_bytes = io_bytes_;

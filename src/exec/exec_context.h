@@ -32,6 +32,11 @@ struct CostConstants {
   double agg_update_per_row = 8.0;   // group lookup + accumulate
   double nl_join_inner_per_pair = 3.0;
   double output_per_row = 2.0;
+  /// Modeled rows per sorted run for external/parallel sort pricing. The
+  /// executor's real run size is one morsel (ExecOptions::morsel_rows);
+  /// this constant keeps the optimizer's estimate aligned with that
+  /// default without coupling it to per-query scheduling knobs.
+  double sort_run_rows = 16384.0;
   /// Multiplier applied to codec decode instruction counts (calibration
   /// hook for matching measured decode rates).
   double decode_scale = 1.0;
@@ -55,8 +60,11 @@ struct QueryStats {
   double end_time = 0.0;
   double elapsed_seconds = 0.0;
   double cpu_seconds = 0.0;       // busy core-seconds (not divided by dop)
-  double cpu_elapsed_seconds = 0.0;  // CPU critical path (core-seconds / cores)
-  double cpu_instructions = 0.0;  // abstract instructions charged
+  double cpu_elapsed_seconds = 0.0;  // CPU critical path (Amdahl: serial +
+                                     // parallel / cores)
+  double cpu_instructions = 0.0;  // abstract instructions charged (total)
+  double cpu_serial_seconds = 0.0;  // portion of cpu_seconds confined to one
+                                    // core regardless of dop
   int active_cores = 1;           // cores the query actually occupied
   double io_seconds = 0.0;        // device service time observed
   uint64_t io_bytes = 0;
@@ -83,6 +91,13 @@ class ExecContext {
   /// Records `instructions` of CPU work (parallelizable across dop cores).
   void ChargeInstructions(double instructions);
 
+  /// Records CPU work confined to one core regardless of dop (splitter
+  /// selection, merge stitching, final emission). Amdahl's law on the
+  /// critical path: cpu_elapsed = serial + parallel / cores, while busy
+  /// core-seconds — and so active CPU energy — cover both terms in full.
+  /// Mirrors the cost model's ResourceEstimate::serial_cpu_instructions.
+  void ChargeSerialInstructions(double instructions);
+
   /// Submits a device read on behalf of the query; service time joins the
   /// query's I/O critical path. Devices overlap with CPU and each other.
   void ChargeRead(storage::StorageDevice* device, uint64_t bytes,
@@ -107,7 +122,8 @@ class ExecContext {
   WorkerPool* worker_pool();
 
   /// Elapsed CPU wall-seconds implied by the charged instructions at the
-  /// configured dop/P-state.
+  /// configured dop/P-state: serial charges do not divide by the core
+  /// count.
   double CpuElapsedSeconds() const;
 
   /// Ends the query: advances the clock to the critical-path completion,
@@ -120,6 +136,7 @@ class ExecContext {
   double start_time_;
   power::MeterSnapshot start_snapshot_;
   double cpu_instructions_ = 0.0;
+  double serial_cpu_instructions_ = 0.0;
   double io_completion_ = 0.0;
   double io_service_seconds_ = 0.0;
   uint64_t io_bytes_ = 0;

@@ -1,0 +1,105 @@
+// Morsel-driven parallel external sort.
+//
+// ParallelSortOp implements the two classical external-sort phases
+// morsel-parallel, after the run-formation/merge structure of Leis et al.
+// (SIGMOD 2014) and the JouleSort framing of Section 2.3 of the paper
+// (records sorted per Joule):
+//
+//  1. Run formation — when the child is a MorselSource, workers claim
+//     zone-block-aligned morsels from the query's WorkerPool ticket and
+//     sort each morsel into an independent sorted run (stable within the
+//     run). Runs are indexed by morsel, so the set of runs is a pure
+//     function of the table, the filter, and ExecOptions::morsel_rows —
+//     never of dop or scheduling.
+//  2. Parallel multiway merge — the coordinator picks key splitters from a
+//     deterministic sample of the sorted runs, range-partitions every run
+//     by those splitters, and workers merge one partition each. Ties are
+//     broken by (run index, position in run), which equals the input's
+//     global order, so the concatenated partitions are byte-identical to a
+//     serial stable sort of the input.
+//
+// Determinism contract (DESIGN.md §7): results, run boundaries, splitters,
+// and all modeled charges are dop-invariant. Workers never touch the
+// ExecContext; the coordinator settles every charge after each pool round
+// in run/partition order, so floating-point accumulation order is fixed.
+// Parallelism shortens only the CPU critical path (run formation and
+// partition merges divide across cores; splitter selection and partition
+// stitching are charged serial per Amdahl) and thereby the energy window.
+//
+// Spill accounting: when the materialized input exceeds
+// `memory_budget_bytes` and a spill device is configured, every run is
+// billed a sequential write when it forms and a sequential read when the
+// merge consumes it — per-run charges on the device's own timeline, settled
+// in run order.
+
+#ifndef ECODB_EXEC_PARALLEL_SORT_H_
+#define ECODB_EXEC_PARALLEL_SORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/parallel_scan.h"
+#include "exec/sort_limit.h"
+#include "storage/device.h"
+
+namespace ecodb::exec {
+
+class ParallelSortOp final : public Operator {
+ public:
+  ParallelSortOp(OperatorPtr child, std::vector<SortKey> keys,
+                 uint64_t memory_budget_bytes = UINT64_MAX,
+                 storage::StorageDevice* spill_device = nullptr);
+
+  const catalog::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Status Open(ExecContext* ctx) override;
+  Status Next(RecordBatch* out, bool* eos) override;
+  void Close() override;
+
+  /// True when the input exceeded the memory budget and runs were billed
+  /// to the spill device.
+  bool spilled() const { return spilled_; }
+  /// Sorted runs formed (valid after Open; dop-invariant).
+  size_t num_runs() const { return num_runs_; }
+  /// Merge partitions produced by splitter range-partitioning (valid after
+  /// Open; dop-invariant).
+  size_t merge_partitions() const { return num_partitions_; }
+
+ private:
+  /// Sorts `batch`'s rows stably by keys_ into a fresh batch.
+  RecordBatch SortRun(RecordBatch batch) const;
+  /// Forms runs_ (morsel-parallel or serial fallback).
+  Status FormRuns();
+  /// Settles DRAM + per-run spill charges (coordinator, run order).
+  void SettleRunCharges();
+  /// Range-partitions runs_ by sampled splitters and merges partitions
+  /// across the pool into partitions_.
+  Status MergeRuns();
+
+  /// Three-way row comparison on the sort keys (sign follows sort order;
+  /// ties return 0 — callers break them by (run, position)).
+  int CompareRows(const RecordBatch& a, size_t ra, const RecordBatch& b,
+                  size_t rb) const;
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  uint64_t memory_budget_bytes_;
+  storage::StorageDevice* spill_device_;
+
+  std::vector<int> key_idx_;
+  std::vector<RecordBatch> runs_;        // sorted, in morsel order
+  std::vector<RecordBatch> partitions_;  // merged output, in key order
+  size_t num_runs_ = 0;
+  size_t num_partitions_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool spilled_ = false;
+  size_t cursor_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace ecodb::exec
+
+#endif  // ECODB_EXEC_PARALLEL_SORT_H_

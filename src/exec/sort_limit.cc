@@ -39,14 +39,25 @@ Status SortOp::Open(ExecContext* ctx) {
       sorted_.AppendRowFrom(batch, r);
     }
     bytes += batch.num_rows() * schema.RowWidthBytes();
+    // External spill accounting: classic 2-pass merge sort writes runs as
+    // memory fills. Writes are billed against spill_write_charged_ so that
+    // when Open is retried after a mid-drain error, bytes the device
+    // already wrote are never charged twice (the re-drain produces the
+    // same prefix — the stream is deterministic).
+    if (bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
+      spilled_ = true;
+      if (bytes > spill_write_charged_) {
+        ctx->ChargeWrite(spill_device_, bytes - spill_write_charged_,
+                         /*sequential=*/true);
+        spill_write_charged_ = bytes;
+      }
+    }
   }
 
-  // External spill accounting: classic 2-pass merge sort writes runs once
-  // and reads them back once.
-  if (bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
-    spilled_ = true;
-    ctx->ChargeWrite(spill_device_, bytes, /*sequential=*/true);
-    ctx->ChargeRead(spill_device_, bytes, /*sequential=*/true);
+  // The merge pass reads every spilled byte back exactly once.
+  if (spilled_ && !spill_read_charged_) {
+    ctx->ChargeRead(spill_device_, spill_write_charged_, /*sequential=*/true);
+    spill_read_charged_ = true;
   }
   ctx->ChargeDram(std::min<uint64_t>(bytes, memory_budget_bytes_));
 

@@ -33,6 +33,8 @@ class SortOp final : public Operator {
   Status Next(RecordBatch* out, bool* eos) override;
   void Close() override;
 
+  /// True once the materialized input has exceeded the memory budget on any
+  /// Open attempt (sticky across retries: the spill really happened).
   bool spilled() const { return spilled_; }
 
  private:
@@ -44,6 +46,10 @@ class SortOp final : public Operator {
   std::vector<size_t> order_;
   size_t cursor_ = 0;
   bool spilled_ = false;
+  /// Spill bytes already billed to the device; survives Open retries so
+  /// accounting is exactly-once.
+  uint64_t spill_write_charged_ = 0;
+  bool spill_read_charged_ = false;
   ExecContext* ctx_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "optimizer/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ecodb::optimizer {
 
@@ -31,6 +32,29 @@ ResourceEstimate CostModel::ScanDemand(
   }
   demand.cpu_instructions =
       table.DecodeInstructions(column_indexes) * params_.costs.decode_scale;
+  return demand;
+}
+
+ResourceEstimate CostModel::SortDemand(double rows, size_t num_keys) const {
+  ResourceEstimate demand;
+  if (rows <= 1.0) return demand;
+  const exec::CostConstants& k = params_.costs;
+  const double keys = static_cast<double>(std::max<size_t>(1, num_keys));
+  const double run_rows = std::max(2.0, k.sort_run_rows);
+  const double runs = std::max(1.0, std::ceil(rows / run_rows));
+  const double per_run = std::min(rows, run_rows);
+  // Run formation: each run's n·log2(n) ladder, divided across workers.
+  demand.cpu_instructions +=
+      k.sort_per_row_log_row * rows * std::log2(per_run) * keys;
+  if (runs > 1.0) {
+    // Merge fan-in: the log2(R) comparison ladder parallelizes across range
+    // partitions; splitter selection and stitching stay on the coordinator.
+    // Note log2(per_run) + log2(runs) ~= log2(rows): total comparison work
+    // matches the classic serial n·log2(n) — only its Amdahl split changes.
+    demand.cpu_instructions +=
+        k.sort_per_row_log_row * rows * std::log2(runs) * keys;
+    demand.serial_cpu_instructions += k.output_per_row * rows;
+  }
   return demand;
 }
 

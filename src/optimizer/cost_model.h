@@ -101,6 +101,15 @@ class CostModel {
   ResourceEstimate ScanDemand(const storage::TableStorage& table,
                               const std::vector<int>& column_indexes) const;
 
+  /// Demand of sorting `rows` rows on `num_keys` keys, priced the way the
+  /// morsel-parallel external sort executes: run formation
+  /// (rows · log2(run size)) and the merge comparison ladder
+  /// (rows · log2(fan-in)) parallelize across cores, while the merge's
+  /// splitter selection and partition stitching stay serial (Amdahl).
+  /// `costs.sort_run_rows` models the run size; at one run this reduces
+  /// exactly to the classic serial n·log2(n).
+  ResourceEstimate SortDemand(double rows, size_t num_keys) const;
+
   /// Converts accumulated demand into (seconds, Joules) at the given
   /// execution knobs, mirroring ExecContext's critical-path rule.
   PlanCost Price(const ResourceEstimate& demand, int dop, int pstate) const;

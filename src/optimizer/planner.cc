@@ -10,6 +10,7 @@
 #include "exec/joins.h"
 #include "exec/parallel_aggregate.h"
 #include "exec/parallel_scan.h"
+#include "exec/parallel_sort.h"
 #include "exec/scan.h"
 
 namespace ecodb::optimizer {
@@ -236,6 +237,7 @@ std::string PhysicalPlan::Describe(const QuerySpec& spec) const {
            std::to_string(right_variant) + ")";
   }
   if (!spec.aggregates.empty()) out += " -> aggregate";
+  if (!spec.order_by.empty()) out += " -> sort";
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 " [dop=%d pstate=%d est %.3fs %.1fJ rows=%.0f]", dop, pstate,
@@ -481,11 +483,13 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
         break;
       }
       case JoinAlgorithm::kMerge: {
-        const auto nlogn = [](double n) {
-          return n > 1 ? n * std::log2(n) : 0.0;
-        };
+        // Both inputs sort under the external-sort model (run formation and
+        // merge fan-in parallelize; see CostModel::SortDemand) — total
+        // comparison work still n·log2(n) per side, only its Amdahl split
+        // changed. The merge walk and output emission stay serial.
+        demand.Merge(model_->SortDemand(lrows, 1));
+        demand.Merge(model_->SortDemand(rrows, 1));
         demand.serial_cpu_instructions +=
-            k.sort_per_row_log_row * (nlogn(lrows) + nlogn(rrows)) +
             2.0 * (lrows + rrows) + k.output_per_row * cards.join_rows;
         break;
       }
@@ -507,6 +511,35 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
     demand.serial_cpu_instructions += k.output_per_row * cards.output_rows;
     demand.dram_traffic_bytes +=
         static_cast<uint64_t>(cards.output_rows * 64.0);
+  }
+
+  if (!spec.order_by.empty()) {
+    const double n = cards.output_rows;
+    demand.Merge(model_->SortDemand(n, spec.order_by.size()));
+    // Materialized width of the sorted rows: aggregate outputs are (group
+    // keys + aggregate values); otherwise the projected scan/join width.
+    double width;
+    if (!spec.aggregates.empty()) {
+      width = 8.0 * static_cast<double>(spec.group_by.size() +
+                                        spec.aggregates.size());
+    } else {
+      width = RowWidthOf(*spec.left.variants[plan.left_variant],
+                         ScanColumnsFor(spec.left, spec, true));
+      if (spec.right.has_value()) {
+        width += RowWidthOf(*spec.right->variants[plan.right_variant],
+                            ScanColumnsFor(*spec.right, spec, false));
+      }
+    }
+    const double sort_bytes = n * width;
+    const double budget =
+        static_cast<double>(spec.sort_memory_budget_bytes);
+    demand.dram_traffic_bytes +=
+        static_cast<uint64_t>(std::min(sort_bytes, budget));
+    if (spec.sort_spill_device != nullptr && sort_bytes > budget) {
+      // External spill: every run is written once and read back once.
+      demand.device_bytes[spec.sort_spill_device] +=
+          static_cast<uint64_t>(2.0 * sort_bytes);
+    }
   }
 
   // Two-phase pricing: residency energy needs the plan duration.
@@ -673,6 +706,18 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
           std::move(root), spec.group_by, spec.aggregates);
     }
   }
+
+  if (!spec.order_by.empty()) {
+    if (parallel) {
+      root = std::make_unique<exec::ParallelSortOp>(
+          std::move(root), spec.order_by, spec.sort_memory_budget_bytes,
+          spec.sort_spill_device);
+    } else {
+      root = std::make_unique<exec::SortOp>(std::move(root), spec.order_by,
+                                            spec.sort_memory_budget_bytes,
+                                            spec.sort_spill_device);
+    }
+  }
   return root;
 }
 
@@ -681,6 +726,10 @@ std::vector<int> DopLadder(int max_dop) {
   for (int d = 1; d <= std::max(1, max_dop); d *= 2) dops.push_back(d);
   if (dops.back() != max_dop && max_dop > 1) dops.push_back(max_dop);
   return dops;
+}
+
+std::vector<int> PlatformDopLadder(const power::HardwarePlatform& platform) {
+  return DopLadder(platform.cpu().total_cores());
 }
 
 }  // namespace ecodb::optimizer

@@ -24,6 +24,7 @@
 #include "exec/aggregate.h"
 #include "exec/expr.h"
 #include "exec/operator.h"
+#include "exec/sort_limit.h"
 #include "optimizer/cost_model.h"
 #include "storage/btree.h"
 #include "storage/table_storage.h"
@@ -51,7 +52,8 @@ enum class AccessPath { kTableScan, kIndexScan };
 
 const char* AccessPathName(AccessPath path);
 
-/// Logical query: left [JOIN right ON lk = rk] [WHERE ...] [GROUP BY ...].
+/// Logical query: left [JOIN right ON lk = rk] [WHERE ...] [GROUP BY ...]
+/// [ORDER BY ...].
 struct QuerySpec {
   TableAlternatives left;
   std::optional<TableAlternatives> right;
@@ -59,6 +61,15 @@ struct QuerySpec {
   std::string right_key;
   std::vector<std::string> group_by;
   std::vector<exec::AggregateItem> aggregates;
+  /// Final ordering of the output. Priced with CostModel::SortDemand and
+  /// realized as SortOp (dop 1) or the morsel-parallel ParallelSortOp
+  /// (dop > 1) — byte-identical results and charges either way.
+  std::vector<exec::SortKey> order_by;
+  /// Sort memory budget; when the estimated sorted bytes exceed it and a
+  /// spill device is set, the plan is priced for (and the operator charges)
+  /// one sequential write + read of every run on that device.
+  uint64_t sort_memory_budget_bytes = UINT64_MAX;
+  storage::StorageDevice* sort_spill_device = nullptr;
 };
 
 enum class JoinAlgorithm { kHash, kHashSwapped, kMerge, kNestedLoop };
@@ -91,6 +102,12 @@ struct PlannerOptions {
 /// Power-of-two dop candidates up to `max_dop` (always includes `max_dop`
 /// itself), e.g. 6 -> {1, 2, 4, 6}. Convenient for PlannerOptions::dops.
 std::vector<int> DopLadder(int max_dop);
+
+/// Dop ladder derived from the platform's physical core count — the
+/// engine-level policy: never enumerate more workers than the modeled CPU
+/// has cores, since extra dop past that point adds scheduling charges but
+/// cannot shrink the critical path.
+std::vector<int> PlatformDopLadder(const power::HardwarePlatform& platform);
 
 class Planner {
  public:

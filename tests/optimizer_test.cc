@@ -324,6 +324,65 @@ TEST_F(OptimizerTest, AggregatePlanBuilds) {
   EXPECT_EQ(rows->TotalRows(), 10u);  // 10 distinct keys
 }
 
+TEST_F(OptimizerTest, OrderByPlansBuildSerialAndParallelSorts) {
+  auto table = MakeTable(1, 5000, 50);
+  QuerySpec spec;
+  spec.left.name = "t";
+  spec.left.variants = {table.get()};
+  spec.order_by = {{"k", true}, {"v", false}};
+
+  CostModel model = MakeModel();
+  PlannerOptions options;
+  options.dops = {1, 4};
+  Planner planner(&model, options);
+  auto plan = planner.ChoosePlan(spec, Objective::Performance());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Describe(spec).find("-> sort"), std::string::npos);
+
+  // The realized tree sorts identically at dop 1 (SortOp) and dop 4
+  // (ParallelSortOp) — the engine's determinism contract.
+  std::vector<std::vector<exec::Value>> reference;
+  for (int dop : {1, 4}) {
+    PhysicalPlan variant = *plan;
+    variant.dop = dop;
+    auto op = planner.BuildOperator(spec, variant);
+    ASSERT_TRUE(op.ok());
+    exec::ExecOptions exec_options;
+    exec_options.dop = dop;
+    exec::ExecContext ctx(platform_.get(), exec_options);
+    auto rows = exec::CollectAll(op->get(), &ctx);
+    ctx.Finish();
+    ASSERT_TRUE(rows.ok());
+    std::vector<std::vector<exec::Value>> collected;
+    for (const auto& batch : rows->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        collected.push_back({batch.GetValue(r, 0), batch.GetValue(r, 1)});
+      }
+    }
+    ASSERT_EQ(collected.size(), 5000u);
+    for (size_t r = 1; r < collected.size(); ++r) {
+      ASSERT_LE(collected[r - 1][0].i64, collected[r][0].i64);
+      if (collected[r - 1][0].i64 == collected[r][0].i64) {
+        ASSERT_GE(collected[r - 1][1].i64, collected[r][1].i64);
+      }
+    }
+    if (dop == 1) {
+      reference = std::move(collected);
+    } else {
+      EXPECT_EQ(collected, reference);
+    }
+  }
+
+  // A sort priced for spilling includes the spill device's I/O.
+  QuerySpec spilling = spec;
+  spilling.sort_memory_budget_bytes = 4 * 1024;
+  spilling.sort_spill_device = ssd_.get();
+  auto spill_plan = planner.PricePlan(spilling, *plan);
+  ASSERT_TRUE(spill_plan.ok());
+  EXPECT_GT(spill_plan->seconds, plan->cost.seconds);
+  EXPECT_GT(spill_plan->joules, plan->cost.joules);
+}
+
 TEST_F(OptimizerTest, EstimatedTimeTracksMeasuredTime) {
   // The cost model and the executor share constants, so the estimate must
   // land within a factor of ~2 of the measurement for a simple scan.

@@ -1,0 +1,294 @@
+// Tests for the morsel-parallel external sort (ParallelSortOp) and the
+// serial SortOp's exactly-once spill accounting.
+//
+// The invariant under test is the determinism contract of DESIGN.md §7: the
+// sort returns byte-identical rows and identical modeled accounting
+// (instructions, I/O bytes, busy core-seconds) at every dop — parallelism
+// only shortens the CPU critical path and the energy window.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/filter_project.h"
+#include "exec/operator.h"
+#include "exec/parallel_scan.h"
+#include "exec/parallel_sort.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "power/platform.h"
+#include "storage/ssd.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::exec {
+namespace {
+
+using catalog::Column;
+using catalog::DataType;
+using catalog::Schema;
+
+class ParallelSortTest : public ::testing::Test {
+ protected:
+  ParallelSortTest() : platform_(power::MakeProportionalPlatform()) {
+    ssd_ = std::make_unique<storage::SsdDevice>("s0", power::SsdSpec{},
+                                                platform_->meter());
+  }
+
+  // A lineitem-flavoured table with heavy key duplication (so ties exercise
+  // the stable (run, position) tie-break) and doubles that are multiples of
+  // 0.25 (exact in binary floating point).
+  std::unique_ptr<storage::TableStorage> MakeLineitem(
+      int n, size_t zone_block_rows) {
+    Schema schema({Column{"id", DataType::kInt64, 8},
+                   Column{"part", DataType::kInt64, 8},
+                   Column{"qty", DataType::kDouble, 8},
+                   Column{"flag", DataType::kString, 2}});
+    auto table = std::make_unique<storage::TableStorage>(
+        1, schema, storage::TableLayout::kColumn, ssd_.get());
+    std::vector<storage::ColumnData> cols(4);
+    cols[0].type = DataType::kInt64;
+    cols[1].type = DataType::kInt64;
+    cols[2].type = DataType::kDouble;
+    cols[3].type = DataType::kString;
+    for (int i = 0; i < n; ++i) {
+      cols[0].i64.push_back((i * 2654435761LL) % n);  // shuffled ids
+      cols[1].i64.push_back(i % 25);
+      cols[2].f64.push_back((i % 37) * 0.25);
+      cols[3].str.push_back(i % 3 ? "N" : "R");
+    }
+    EXPECT_TRUE(table->Append(cols).ok());
+    if (zone_block_rows > 0) {
+      EXPECT_TRUE(table->BuildZoneMaps(zone_block_rows).ok());
+    }
+    return table;
+  }
+
+  struct RunOutcome {
+    std::vector<std::vector<Value>> rows;
+    QueryStats stats;
+  };
+
+  RunOutcome Run(Operator* root, int dop, size_t morsel_rows = 1024) {
+    ExecOptions options;
+    options.dop = dop;
+    options.morsel_rows = morsel_rows;
+    ExecContext ctx(platform_.get(), options);
+    auto result = CollectAll(root, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    RunOutcome out;
+    out.stats = ctx.Finish();
+    if (!result.ok()) return out;
+    const size_t ncols = static_cast<size_t>(result->schema.num_columns());
+    for (const auto& batch : result->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        std::vector<Value> row;
+        row.reserve(ncols);
+        for (size_t c = 0; c < ncols; ++c) row.push_back(batch.GetValue(r, c));
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<power::HardwarePlatform> platform_;
+  std::unique_ptr<storage::SsdDevice> ssd_;
+};
+
+std::vector<SortKey> Keys() {
+  return {{"part", true}, {"qty", false}, {"flag", true}};
+}
+
+TEST_F(ParallelSortTest, MatchesSerialSortAtEveryDop) {
+  auto table = MakeLineitem(10000, 512);
+  SortOp serial(std::make_unique<TableScanOp>(table.get()), Keys());
+  const RunOutcome base = Run(&serial, 1);
+  ASSERT_EQ(base.rows.size(), 10000u);
+
+  for (int dop : {1, 2, 4, 8}) {
+    ParallelSortOp sort(std::make_unique<ParallelTableScanOp>(table.get()),
+                        Keys());
+    const RunOutcome got = Run(&sort, dop);
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;  // byte-identical
+    EXPECT_GT(sort.num_runs(), 1u);
+    EXPECT_EQ(sort.merge_partitions(),
+              std::min<size_t>(8, sort.num_runs()));
+  }
+}
+
+TEST_F(ParallelSortTest, AccountingIsDopInvariantAndCriticalPathShrinks) {
+  auto table = MakeLineitem(20000, 512);
+  std::vector<RunOutcome> outcomes;
+  for (int dop : {1, 2, 4, 8}) {
+    ParallelSortOp sort(std::make_unique<ParallelTableScanOp>(table.get()),
+                        Keys());
+    outcomes.push_back(Run(&sort, dop));
+  }
+  const QueryStats& base = outcomes[0].stats;
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    const QueryStats& got = outcomes[i].stats;
+    EXPECT_EQ(outcomes[i].rows, outcomes[0].rows);
+    // Modeled work is bit-identical: charges are settled on the
+    // coordinator in run/partition order from dop-invariant totals.
+    EXPECT_EQ(got.cpu_instructions, base.cpu_instructions);
+    EXPECT_EQ(got.io_bytes, base.io_bytes);
+    EXPECT_EQ(got.cpu_seconds, base.cpu_seconds);
+    EXPECT_EQ(got.cpu_serial_seconds, base.cpu_serial_seconds);
+    // Parallelism only shortens the CPU critical path.
+    EXPECT_LT(got.cpu_elapsed_seconds,
+              outcomes[i - 1].stats.cpu_elapsed_seconds);
+  }
+  // Amdahl floor: the serial merge-stitching term never divides by cores.
+  EXPECT_GT(base.cpu_serial_seconds, 0.0);
+  EXPECT_GT(outcomes.back().stats.cpu_elapsed_seconds,
+            base.cpu_serial_seconds);
+}
+
+TEST_F(ParallelSortTest, SpilledSortReturnsSameRowsAsInMemory) {
+  auto table = MakeLineitem(10000, 512);
+  ParallelSortOp in_memory(
+      std::make_unique<ParallelTableScanOp>(table.get()), Keys());
+  const RunOutcome base = Run(&in_memory, 4);
+  EXPECT_FALSE(in_memory.spilled());
+
+  for (int dop : {1, 4}) {
+    ParallelSortOp spilling(
+        std::make_unique<ParallelTableScanOp>(table.get()), Keys(),
+        /*memory_budget_bytes=*/16 * 1024, ssd_.get());
+    const RunOutcome got = Run(&spilling, dop);
+    EXPECT_TRUE(spilling.spilled());
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;
+    // Every run is written once and read back once on top of the scan.
+    const uint64_t row_width =
+        static_cast<uint64_t>(table->schema().RowWidthBytes());
+    EXPECT_EQ(got.stats.io_bytes,
+              base.stats.io_bytes + 2 * 10000 * row_width);
+  }
+}
+
+TEST_F(ParallelSortTest, SerialChildFallsBackToSingleRun) {
+  auto table = MakeLineitem(2000, 0);
+  // FilterOp is not a MorselSource, so the sort drains it serially.
+  ParallelSortOp sort(
+      std::make_unique<FilterOp>(std::make_unique<TableScanOp>(table.get()),
+                                 Col("part") < Lit(int64_t{20})),
+      Keys());
+  const RunOutcome got = Run(&sort, 4);
+  EXPECT_EQ(sort.num_runs(), 1u);
+  EXPECT_EQ(sort.merge_partitions(), 1u);
+  EXPECT_EQ(got.rows.size(), 1600u);
+  for (size_t r = 1; r < got.rows.size(); ++r) {
+    EXPECT_LE(got.rows[r - 1][1].i64, got.rows[r][1].i64);
+  }
+}
+
+TEST_F(ParallelSortTest, EmptyInputYieldsEmptyOutput) {
+  auto table = MakeLineitem(100, 0);
+  ParallelSortOp sort(
+      std::make_unique<ParallelTableScanOp>(table.get(), std::vector<std::string>{},
+                                            nullptr,
+                                            Col("part") < Lit(int64_t{-1})),
+      Keys());
+  const RunOutcome got = Run(&sort, 4);
+  EXPECT_TRUE(got.rows.empty());
+  EXPECT_EQ(sort.merge_partitions(), 0u);
+}
+
+TEST_F(ParallelSortTest, MissingSortColumnIsNotFound) {
+  auto table = MakeLineitem(100, 0);
+  ParallelSortOp sort(std::make_unique<ParallelTableScanOp>(table.get()),
+                      {{"no_such_column", true}});
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  EXPECT_EQ(sort.Open(&ctx).code(), StatusCode::kNotFound);
+}
+
+// --- SortOp spill accounting across Open retries ------------------------------
+
+/// Emits `rows` rows in fixed-size batches; fails the drain once at
+/// `fail_at_batch` on the first Open, then replays cleanly on retry.
+class FlakyRowsOp final : public Operator {
+ public:
+  FlakyRowsOp(int rows, int batch_rows, int fail_at_batch)
+      : schema_({Column{"k", DataType::kInt64, 8}}),
+        rows_(rows),
+        batch_rows_(batch_rows),
+        fail_at_batch_(fail_at_batch) {}
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+
+  Status Open(ExecContext*) override {
+    ++opens_;
+    emitted_ = 0;
+    batch_index_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(RecordBatch* out, bool* eos) override {
+    if (opens_ == 1 && batch_index_ == fail_at_batch_) {
+      return Status::Internal("transient source failure");
+    }
+    if (emitted_ >= rows_) {
+      *eos = true;
+      return Status::OK();
+    }
+    RecordBatch batch(schema_);
+    storage::ColumnData& lane = batch.column(0);
+    const int take = std::min(batch_rows_, rows_ - emitted_);
+    for (int i = 0; i < take; ++i) {
+      lane.i64.push_back(static_cast<int64_t>((emitted_ + i) * 7919 % rows_));
+    }
+    batch.SealRows(static_cast<size_t>(take));
+    emitted_ += take;
+    ++batch_index_;
+    *eos = false;
+    *out = std::move(batch);
+    return Status::OK();
+  }
+
+  void Close() override {}
+
+ private:
+  catalog::Schema schema_;
+  int rows_;
+  int batch_rows_;
+  int fail_at_batch_;
+  int opens_ = 0;
+  int emitted_ = 0;
+  int batch_index_ = 0;
+};
+
+TEST_F(ParallelSortTest, SortOpChargesSpillExactlyOnceAcrossOpenRetry) {
+  // 1000 rows x 8 B; 2 KiB budget spills after the third 100-row batch.
+  // The first Open fails at batch 6, after spill writes began.
+  SortOp sort(std::make_unique<FlakyRowsOp>(1000, 100, 6), {{"k", true}},
+              /*memory_budget_bytes=*/2048, ssd_.get());
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  EXPECT_EQ(sort.Open(&ctx).code(), StatusCode::kInternal);
+  EXPECT_TRUE(sort.spilled());  // sticky: the spill really happened
+
+  ASSERT_TRUE(sort.Open(&ctx).ok());
+  RecordBatch batch;
+  bool eos = false;
+  uint64_t rows = 0;
+  int64_t prev = INT64_MIN;
+  while (true) {
+    ASSERT_TRUE(sort.Next(&batch, &eos).ok());
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      EXPECT_LE(prev, batch.column(0).i64[r]);
+      prev = batch.column(0).i64[r];
+      ++rows;
+    }
+  }
+  sort.Close();
+  EXPECT_EQ(rows, 1000u);
+
+  // Exactly-once accounting: all 8000 spilled bytes written once and read
+  // once — no double-billing of the pre-failure prefix on the retried
+  // drain.
+  const QueryStats stats = ctx.Finish();
+  EXPECT_EQ(stats.io_bytes, 2u * 8000u);
+}
+
+}  // namespace
+}  // namespace ecodb::exec
