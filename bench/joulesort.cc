@@ -15,12 +15,16 @@
 
 #include <cinttypes>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "bench_util.h"
 #include "exec/parallel_scan.h"
 #include "exec/parallel_sort.h"
 #include "exec/scan.h"
 #include "exec/sort_limit.h"
+#include "exec/topk.h"
+#include "optimizer/planner.h"
 #include "power/platform.h"
 #include "storage/hdd.h"
 #include "storage/ssd.h"
@@ -130,6 +134,73 @@ SortOutcome RunSort(power::HardwarePlatform* platform,
   return out;
 }
 
+struct TopKOutcome {
+  double seconds = 0;
+  double joules = 0;
+  double cpu_core_seconds = 0;
+  double cpu_elapsed_seconds = 0;
+  double instructions = 0;
+  uint64_t io_bytes = 0;
+  uint64_t spill_bytes = 0;
+  std::vector<std::pair<int64_t, std::string>> rows;
+  bool sorted = true;
+};
+
+/// ORDER BY key LIMIT k through either the fused ParallelTopKOp or the
+/// unfused ParallelSortOp + LimitOp pair, behind a morsel-parallel scan.
+/// Both emit byte-identical rows; the fused path does O(n log k) work and
+/// only spills its k-row candidate set.
+TopKOutcome RunTopK(power::HardwarePlatform* platform, uint64_t memory_budget,
+                    const std::vector<storage::ColumnData>& records, int dop,
+                    size_t k, bool fused) {
+  storage::SsdDevice ssd("data-ssd", power::SsdSpec{}, platform->meter());
+  storage::TableStorage table(1, RecordSchema(),
+                              storage::TableLayout::kColumn, &ssd);
+  if (!table.Append(records).ok()) std::exit(1);
+  const uint64_t scan_bytes = table.ScanBytes({0, 1});
+
+  exec::ExecOptions options;
+  options.dop = dop;
+  exec::ExecContext ctx(platform, options);
+  const std::vector<exec::SortKey> keys = {{"key", true}};
+  exec::OperatorPtr root;
+  if (fused) {
+    root = std::make_unique<exec::ParallelTopKOp>(
+        std::make_unique<exec::ParallelTableScanOp>(&table), keys, k,
+        memory_budget, &ssd);
+  } else {
+    root = std::make_unique<exec::LimitOp>(
+        std::make_unique<exec::ParallelSortOp>(
+            std::make_unique<exec::ParallelTableScanOp>(&table), keys,
+            memory_budget, &ssd),
+        k);
+  }
+  auto result = exec::CollectAll(root.get(), &ctx);
+  if (!result.ok()) std::exit(1);
+  const exec::QueryStats stats = ctx.Finish();
+
+  TopKOutcome out;
+  out.seconds = stats.elapsed_seconds;
+  out.joules = stats.Joules();
+  out.cpu_core_seconds = stats.cpu_seconds;
+  out.cpu_elapsed_seconds = stats.cpu_elapsed_seconds;
+  out.instructions = stats.cpu_instructions;
+  out.io_bytes = stats.io_bytes;
+  out.spill_bytes =
+      stats.io_bytes > scan_bytes ? stats.io_bytes - scan_bytes : 0;
+  int64_t prev = INT64_MIN;
+  for (const auto& batch : result->batches) {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      const int64_t key = batch.column(0).i64[r];
+      if (key < prev) out.sorted = false;
+      prev = key;
+      out.rows.emplace_back(key, batch.column(1).str[r]);
+    }
+  }
+  if (out.rows.size() != std::min<size_t>(k, kRecords)) out.sorted = false;
+  return out;
+}
+
 }  // namespace
 
 int Main() {
@@ -196,6 +267,12 @@ int Main() {
   // (dop, spill) point follows. Busy core-seconds stay constant across dop
   // while the CPU critical path shrinks — parallelism only narrows the
   // energy window (race-to-idle), it never changes the modeled work.
+  // Dop candidates come from the platform's core count (the engine-level
+  // ladder policy), not a hand-picked list.
+  const std::vector<int> dops = [] {
+    auto p = power::MakeDl785Platform();
+    return optimizer::PlatformDopLadder(*p);
+  }();
   std::printf("{\"schema\":\"ecodb.joulesort.v1\",\"records\":%d,"
               "\"key_bytes\":10,\"payload_bytes\":90,\"platform\":\"dl785\"}"
               "\n",
@@ -203,7 +280,7 @@ int Main() {
   bool sweep_ok = true;
   for (const bool spill : {false, true}) {
     SortOutcome base;
-    for (const int dop : {1, 2, 4, 8}) {
+    for (const int dop : dops) {
       auto platform = power::MakeDl785Platform();
       storage::SsdDevice ssd("data-ssd", power::SsdSpec{}, platform->meter());
       const SortOutcome out =
@@ -236,7 +313,69 @@ int Main() {
   std::printf("dop sweep check (busy core-seconds and io bytes constant; "
               "cpu critical path shrinks with dop): %s\n",
               sweep_ok ? "PASS" : "FAIL");
-  return (shape && sweep_ok) ? 0 : 1;
+
+  // --- Top-k sweep: ORDER BY + LIMIT, fused vs sort-then-limit ------------
+  // For each k the same query runs fused (bounded-heap top-k) and unfused
+  // (full external sort, then limit) across the platform dop ladder, under
+  // a budget the full sort must spill. Small k is where the energy drops:
+  // the fused path does O(n log k) comparisons and writes zero spill bytes
+  // when its k-row candidate set fits the budget.
+  std::printf("\n{\"schema\":\"ecodb.topk.v1\",\"records\":%d,"
+              "\"platform\":\"dl785\",\"budget_bytes\":%" PRIu64
+              ",\"ks\":[1,10,100,%d]}\n",
+              kRecords, tight, kRecords);
+  bool topk_ok = true;
+  for (const size_t k : {size_t{1}, size_t{10}, size_t{100},
+                         size_t{kRecords}}) {
+    TopKOutcome fused_base, unfused_base;
+    for (const bool fused : {true, false}) {
+      TopKOutcome base;
+      for (const int dop : dops) {
+        auto platform = power::MakeDl785Platform();
+        const TopKOutcome out =
+            RunTopK(platform.get(), tight, records, dop, k, fused);
+        std::printf(
+            "{\"bench\":\"topk\",\"k\":%zu,\"path\":\"%s\",\"dop\":%d,"
+            "\"sim_seconds\":%.6f,\"joules\":%.3f,\"instructions\":%.1f,"
+            "\"cpu_core_seconds\":%.6f,\"cpu_elapsed_seconds\":%.6f,"
+            "\"io_bytes\":%" PRIu64 ",\"spill_bytes\":%" PRIu64 "}\n",
+            k, fused ? "topk" : "sort+limit", dop, out.seconds, out.joules,
+            out.instructions, out.cpu_core_seconds, out.cpu_elapsed_seconds,
+            out.io_bytes, out.spill_bytes);
+        if (!out.sorted) topk_ok = false;
+        if (dop == dops.front()) {
+          base = out;
+        } else {
+          // Determinism contract: rows and modeled charges are
+          // dop-invariant; only the critical path may shrink.
+          if (out.rows != base.rows) topk_ok = false;
+          if (out.instructions != base.instructions) topk_ok = false;
+          if (out.io_bytes != base.io_bytes) topk_ok = false;
+          if (std::abs(out.cpu_core_seconds - base.cpu_core_seconds) >
+              1e-9 * base.cpu_core_seconds) {
+            topk_ok = false;
+          }
+        }
+      }
+      (fused ? fused_base : unfused_base) = base;
+    }
+    // Plan equivalence: the fused path is just a cheaper physical plan.
+    if (fused_base.rows != unfused_base.rows) topk_ok = false;
+    if (k <= 100) {
+      if (!(fused_base.instructions < unfused_base.instructions)) {
+        topk_ok = false;
+      }
+      if (fused_base.spill_bytes != 0 || unfused_base.spill_bytes == 0) {
+        topk_ok = false;
+      }
+      if (!(fused_base.joules < unfused_base.joules)) topk_ok = false;
+    }
+  }
+  std::printf("top-k sweep check (fused rows identical; charges "
+              "dop-invariant; fewer instructions, zero spill bytes, fewer "
+              "Joules for k <= 100): %s\n",
+              topk_ok ? "PASS" : "FAIL");
+  return (shape && sweep_ok && topk_ok) ? 0 : 1;
 }
 
 }  // namespace ecodb

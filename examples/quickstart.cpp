@@ -16,6 +16,9 @@ int main() {
   ecodb::core::DbConfig config;
   config.preset = ecodb::core::PlatformPreset::kProportional;
   config.ssd_count = 1;
+  // Let the planner enumerate the dop ladder derived from the platform's
+  // core count instead of hand-picking degrees of parallelism.
+  config.derive_dop_ladder = true;
 
   auto db_or = ecodb::core::EcoDb::Open(config);
   if (!db_or.ok()) {

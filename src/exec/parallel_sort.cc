@@ -12,8 +12,6 @@ namespace ecodb::exec {
 
 namespace {
 
-using catalog::DataType;
-
 /// Sorted runs merge into at most this many range partitions; the count is
 /// derived from the (dop-invariant) run count, never from dop, so partition
 /// boundaries — and the output — are identical at every dop.
@@ -21,24 +19,6 @@ constexpr size_t kMaxMergePartitions = 8;
 
 /// Splitter sample keys taken per run (evenly spaced within the sorted run).
 constexpr size_t kSamplesPerRun = 16;
-
-/// Three-way comparison of one value in lane `a` against one in lane `b`
-/// (same type; ascending column order).
-int CompareLane(const storage::ColumnData& a, size_t ra,
-                const storage::ColumnData& b, size_t rb) {
-  switch (a.type) {
-    case DataType::kInt64:
-    case DataType::kDate:
-      return a.i64[ra] < b.i64[rb] ? -1 : a.i64[ra] > b.i64[rb] ? 1 : 0;
-    case DataType::kDouble:
-      return a.f64[ra] < b.f64[rb] ? -1 : a.f64[ra] > b.f64[rb] ? 1 : 0;
-    case DataType::kString: {
-      const int cmp = a.str[ra].compare(b.str[rb]);
-      return cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
-    }
-  }
-  return 0;
-}
 
 }  // namespace
 
@@ -52,12 +32,7 @@ ParallelSortOp::ParallelSortOp(OperatorPtr child, std::vector<SortKey> keys,
 
 int ParallelSortOp::CompareRows(const RecordBatch& a, size_t ra,
                                 const RecordBatch& b, size_t rb) const {
-  for (size_t k = 0; k < keys_.size(); ++k) {
-    const int idx = key_idx_[k];
-    const int cmp = CompareLane(a.column(idx), ra, b.column(idx), rb);
-    if (cmp != 0) return keys_[k].ascending ? cmp : -cmp;
-  }
-  return 0;
+  return CompareRowsOnKeys(a, ra, b, rb, keys_, key_idx_);
 }
 
 RecordBatch ParallelSortOp::SortRun(RecordBatch batch) const {
@@ -261,13 +236,8 @@ Status ParallelSortOp::MergeRuns() {
 Status ParallelSortOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   ECODB_RETURN_IF_ERROR(child_->Open(ctx));
-  const catalog::Schema& schema = child_->output_schema();
-  key_idx_.clear();
-  for (const SortKey& k : keys_) {
-    const int idx = schema.FindColumn(k.column);
-    if (idx < 0) return Status::NotFound("sort column '" + k.column + "'");
-    key_idx_.push_back(idx);
-  }
+  ECODB_RETURN_IF_ERROR(
+      ResolveSortKeys(child_->output_schema(), keys_, &key_idx_));
   runs_.clear();
   partitions_.clear();
   num_runs_ = 0;

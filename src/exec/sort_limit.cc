@@ -8,6 +8,51 @@ namespace ecodb::exec {
 
 using catalog::DataType;
 
+namespace {
+
+/// Three-way comparison of one value in lane `a` against one in lane `b`
+/// (same type; ascending column order).
+int CompareLane(const storage::ColumnData& a, size_t ra,
+                const storage::ColumnData& b, size_t rb) {
+  switch (a.type) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return a.i64[ra] < b.i64[rb] ? -1 : a.i64[ra] > b.i64[rb] ? 1 : 0;
+    case DataType::kDouble:
+      return a.f64[ra] < b.f64[rb] ? -1 : a.f64[ra] > b.f64[rb] ? 1 : 0;
+    case DataType::kString: {
+      const int cmp = a.str[ra].compare(b.str[rb]);
+      return cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CompareRowsOnKeys(const RecordBatch& a, size_t ra, const RecordBatch& b,
+                      size_t rb, const std::vector<SortKey>& keys,
+                      const std::vector<int>& key_idx) {
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const int idx = key_idx[k];
+    const int cmp = CompareLane(a.column(idx), ra, b.column(idx), rb);
+    if (cmp != 0) return keys[k].ascending ? cmp : -cmp;
+  }
+  return 0;
+}
+
+Status ResolveSortKeys(const catalog::Schema& schema,
+                       const std::vector<SortKey>& keys,
+                       std::vector<int>* key_idx) {
+  key_idx->clear();
+  for (const SortKey& k : keys) {
+    const int idx = schema.FindColumn(k.column);
+    if (idx < 0) return Status::NotFound("sort column '" + k.column + "'");
+    key_idx->push_back(idx);
+  }
+  return Status::OK();
+}
+
 SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys,
                uint64_t memory_budget_bytes,
                storage::StorageDevice* spill_device)
@@ -22,11 +67,7 @@ Status SortOp::Open(ExecContext* ctx) {
   const catalog::Schema& schema = child_->output_schema();
 
   std::vector<int> key_idx;
-  for (const SortKey& k : keys_) {
-    const int idx = schema.FindColumn(k.column);
-    if (idx < 0) return Status::NotFound("sort column '" + k.column + "'");
-    key_idx.push_back(idx);
-  }
+  ECODB_RETURN_IF_ERROR(ResolveSortKeys(schema, keys_, &key_idx));
 
   sorted_ = RecordBatch(schema);
   bool eos = false;
@@ -71,29 +112,7 @@ Status SortOp::Open(ExecContext* ctx) {
                             static_cast<double>(keys_.size()));
   }
   std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
-    for (size_t k = 0; k < keys_.size(); ++k) {
-      const ColumnData& lane = sorted_.column(key_idx[k]);
-      int cmp = 0;
-      switch (lane.type) {
-        case DataType::kInt64:
-        case DataType::kDate:
-          cmp = lane.i64[a] < lane.i64[b] ? -1
-                : lane.i64[a] > lane.i64[b] ? 1
-                                            : 0;
-          break;
-        case DataType::kDouble:
-          cmp = lane.f64[a] < lane.f64[b] ? -1
-                : lane.f64[a] > lane.f64[b] ? 1
-                                            : 0;
-          break;
-        case DataType::kString:
-          cmp = lane.str[a].compare(lane.str[b]);
-          cmp = cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
-          break;
-      }
-      if (cmp != 0) return keys_[k].ascending ? cmp < 0 : cmp > 0;
-    }
-    return false;
+    return CompareRowsOnKeys(sorted_, a, sorted_, b, keys_, key_idx) < 0;
   });
   cursor_ = 0;
   return Status::OK();

@@ -16,6 +16,22 @@ struct SortKey {
   bool ascending = true;
 };
 
+/// Three-way comparison of row `ra` of `a` against row `rb` of `b` on the
+/// sort keys (`key_idx[i]` is keys[i]'s column index in both schemas).
+/// The sign follows the sort direction; ties return 0 — callers break them
+/// by input position so every sort path is stable the same way. Shared by
+/// SortOp, ParallelSortOp, TopKOp, and ParallelTopKOp so one comparison
+/// semantics backs every ordering operator.
+int CompareRowsOnKeys(const RecordBatch& a, size_t ra, const RecordBatch& b,
+                      size_t rb, const std::vector<SortKey>& keys,
+                      const std::vector<int>& key_idx);
+
+/// Resolves `keys` against `schema` into column indexes, or NotFound for a
+/// missing sort column.
+Status ResolveSortKeys(const catalog::Schema& schema,
+                       const std::vector<SortKey>& keys,
+                       std::vector<int>* key_idx);
+
 /// Materializing sort. When the materialized input exceeds
 /// `memory_budget_bytes` and a spill device is configured, the operator
 /// charges the two-pass external-sort I/O (write runs + read back) — the

@@ -1,0 +1,344 @@
+#include "exec/topk.h"
+
+#include <numeric>
+#include <queue>
+
+#include "exec/exec_context.h"
+#include "exec/parallel_scan.h"
+
+namespace ecodb::exec {
+
+// --- TopKOp -----------------------------------------------------------------
+
+TopKOp::TopKOp(OperatorPtr child, std::vector<SortKey> keys, size_t k,
+               uint64_t memory_budget_bytes,
+               storage::StorageDevice* spill_device)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      k_(k),
+      memory_budget_bytes_(memory_budget_bytes),
+      spill_device_(spill_device) {}
+
+bool TopKOp::OutputBefore(const Entry& a, const Entry& b) const {
+  const int cmp =
+      CompareRowsOnKeys(pool_, a.row, pool_, b.row, keys_, key_idx_);
+  if (cmp != 0) return cmp < 0;
+  return a.pos < b.pos;
+}
+
+void TopKOp::CompactPool() {
+  RecordBatch fresh(pool_.schema());
+  for (Entry& e : heap_) {
+    fresh.AppendRowFrom(pool_, e.row);
+    e.row = fresh.num_rows() - 1;
+  }
+  pool_ = std::move(fresh);
+}
+
+Status TopKOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  const catalog::Schema& schema = child_->output_schema();
+  ECODB_RETURN_IF_ERROR(ResolveSortKeys(schema, keys_, &key_idx_));
+
+  pool_ = RecordBatch(schema);
+  heap_.clear();
+  order_.clear();
+  cursor_ = 0;
+  const uint64_t row_width =
+      static_cast<uint64_t>(schema.RowWidthBytes());
+  const auto heap_cmp = [this](const Entry& a, const Entry& b) {
+    return OutputBefore(a, b);  // max-heap: top = last in output order
+  };
+
+  uint64_t pos = 0;
+  bool eos = false;
+  while (true) {
+    RecordBatch batch;
+    ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r, ++pos) {
+      if (k_ == 0) continue;
+      if (heap_.size() < k_) {
+        pool_.AppendRowFrom(batch, r);
+        heap_.push_back({pool_.num_rows() - 1, pos});
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+        continue;
+      }
+      // A new row displaces the worst kept row only when it sorts strictly
+      // before it on the keys: on a tie the kept row's input position is
+      // smaller, so stability keeps it — exactly what a stable sort
+      // followed by LimitOp(k) would retain.
+      const Entry& top = heap_.front();
+      if (CompareRowsOnKeys(batch, r, pool_, top.row, keys_, key_idx_) < 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+        pool_.AppendRowFrom(batch, r);
+        heap_.back() = {pool_.num_rows() - 1, pos};
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+        if (pool_.num_rows() >= 2 * k_) CompactPool();
+      }
+    }
+    // Spill accounting during the drain (mirrors SortOp): when even the
+    // k-row working set exceeds the budget, the kept bytes are written out
+    // as they accumulate. Guarded by spill_write_charged_ so an Open retry
+    // after a mid-drain error never bills the device twice.
+    const uint64_t kept_bytes = heap_.size() * row_width;
+    if (kept_bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
+      spilled_ = true;
+      if (kept_bytes > spill_write_charged_) {
+        ctx->ChargeWrite(spill_device_, kept_bytes - spill_write_charged_,
+                         /*sequential=*/true);
+        spill_write_charged_ = kept_bytes;
+      }
+    }
+  }
+
+  // The emission pass reads every spilled byte back exactly once.
+  if (spilled_ && !spill_read_charged_) {
+    ctx->ChargeRead(spill_device_, spill_write_charged_, /*sequential=*/true);
+    spill_read_charged_ = true;
+  }
+
+  const CostConstants& c = ctx->options().costs;
+  ctx->ChargeInstructions(TopKCompareInstructions(
+      c, static_cast<double>(pos), static_cast<double>(k_),
+      static_cast<double>(keys_.size())));
+  const uint64_t kept_bytes = heap_.size() * row_width;
+  ctx->ChargeDram(std::min<uint64_t>(kept_bytes, memory_budget_bytes_));
+
+  CompactPool();
+  order_ = heap_;
+  std::sort(order_.begin(), order_.end(), heap_cmp);
+  return Status::OK();
+}
+
+Status TopKOp::Next(RecordBatch* out, bool* eos) {
+  if (cursor_ >= order_.size()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(ctx_->options().batch_rows, order_.size() - cursor_);
+  RecordBatch batch(child_->output_schema());
+  for (size_t i = 0; i < take; ++i) {
+    batch.AppendRowFrom(pool_, order_[cursor_ + i].row);
+  }
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void TopKOp::Close() {
+  pool_ = RecordBatch();
+  heap_.clear();
+  order_.clear();
+  child_->Close();
+}
+
+// --- ParallelTopKOp ---------------------------------------------------------
+
+ParallelTopKOp::ParallelTopKOp(OperatorPtr child, std::vector<SortKey> keys,
+                               size_t k, uint64_t memory_budget_bytes,
+                               storage::StorageDevice* spill_device)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      k_(k),
+      memory_budget_bytes_(memory_budget_bytes),
+      spill_device_(spill_device) {}
+
+ParallelTopKOp::CandidateRun ParallelTopKOp::ReduceMorsel(
+    RecordBatch batch) const {
+  CandidateRun run;
+  run.rows_in = batch.num_rows();
+  const size_t keep = std::min(k_, batch.num_rows());
+  std::vector<size_t> order(batch.num_rows());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // (key, position-in-morsel) is a strict total order, so the selected
+  // prefix is unique — deterministic for a given morsel at any dop.
+  const auto before = [&](size_t a, size_t b) {
+    const int cmp = CompareRowsOnKeys(batch, a, batch, b, keys_, key_idx_);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  };
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(), before);
+  run.rows = RecordBatch(batch.schema());
+  run.pos.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    run.rows.AppendRowFrom(batch, order[i]);
+    run.pos.push_back(order[i]);
+  }
+  return run;
+}
+
+Status ParallelTopKOp::FormRuns() {
+  auto* source = dynamic_cast<MorselSource*>(child_.get());
+  if (source != nullptr && source->morsel_count() > 0) {
+    const size_t n_morsels = source->morsel_count();
+    runs_.assign(n_morsels, CandidateRun{});
+    WorkerPool* pool = ctx_->worker_pool();
+    std::vector<WorkAccumulator> accs(
+        static_cast<size_t>(pool->parallelism()));
+    ECODB_RETURN_IF_ERROR(
+        pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+          RecordBatch batch;
+          ECODB_RETURN_IF_ERROR(source->ProduceMorsel(
+              m, &batch, &accs[static_cast<size_t>(slot)]));
+          runs_[m] = ReduceMorsel(std::move(batch));
+          return Status::OK();
+        }));
+    for (const WorkAccumulator& acc : accs) ctx_->MergeWork(acc);
+  } else {
+    // Serial fallback (non-morsel child): the whole input is one candidate
+    // run, so the operator degenerates to the serial bounded-heap top-k.
+    RecordBatch all(child_->output_schema());
+    bool eos = false;
+    while (true) {
+      RecordBatch batch;
+      ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
+      if (eos) break;
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        all.AppendRowFrom(batch, r);
+      }
+    }
+    runs_.clear();
+    runs_.push_back(ReduceMorsel(std::move(all)));
+  }
+  // Morsels with no surviving rows form empty candidate runs; dropping
+  // them (in morsel order) keeps run indexes — the merge tie-break — dense
+  // and deterministic.
+  std::erase_if(runs_,
+                [](const CandidateRun& r) { return r.rows.num_rows() == 0; });
+  num_runs_ = runs_.size();
+  return Status::OK();
+}
+
+void ParallelTopKOp::SettleRunCharges() {
+  const CostConstants& c = ctx_->options().costs;
+  const double n_keys = static_cast<double>(keys_.size());
+  const uint64_t row_width =
+      static_cast<uint64_t>(child_->output_schema().RowWidthBytes());
+
+  // Formation: each morsel streams through its own bounded heap. Summed in
+  // run order on the coordinator so the floating-point total is
+  // dop-invariant (run boundaries derive from morsels, not from dop).
+  double formation = 0.0;
+  uint64_t kept_bytes = 0;
+  for (const CandidateRun& run : runs_) {
+    formation += TopKCompareInstructions(
+        c, static_cast<double>(run.rows_in), static_cast<double>(k_), n_keys);
+    kept_bytes += run.rows.num_rows() * row_width;
+  }
+  ctx_->ChargeInstructions(formation);
+  ctx_->ChargeDram(std::min<uint64_t>(kept_bytes, memory_budget_bytes_));
+
+  // Spill only when even the kept candidate set exceeds the budget — the
+  // headline saving over a full external sort, whose every input byte
+  // spills. Per-run sequential writes, billed in run order.
+  if (kept_bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
+    spilled_ = true;
+    for (const CandidateRun& run : runs_) {
+      ctx_->ChargeWrite(spill_device_, run.rows.num_rows() * row_width,
+                        /*sequential=*/true);
+    }
+  }
+}
+
+void ParallelTopKOp::MergeRuns() {
+  result_ = RecordBatch(child_->output_schema());
+  const CostConstants& c = ctx_->options().costs;
+  const uint64_t row_width =
+      static_cast<uint64_t>(child_->output_schema().RowWidthBytes());
+  uint64_t candidates = 0;
+  for (const CandidateRun& run : runs_) candidates += run.rows.num_rows();
+
+  // The merge reads every spilled candidate byte back exactly once
+  // (per-run charge, run order).
+  if (spilled_) {
+    for (const CandidateRun& run : runs_) {
+      ctx_->ChargeRead(spill_device_, run.rows.num_rows() * row_width,
+                       /*sequential=*/true);
+    }
+  }
+  if (runs_.empty() || k_ == 0) {
+    runs_.clear();
+    return;
+  }
+
+  // Coordinator k-way merge of the sorted candidate runs; key ties break
+  // by (run index, position in run) — the input's global order, so the
+  // kept prefix is byte-identical to SortOp + LimitOp.
+  struct Ref {
+    size_t run;
+    size_t idx;
+  };
+  const auto after = [&](const Ref& x, const Ref& y) {
+    const int cmp = CompareRowsOnKeys(runs_[x.run].rows, x.idx,
+                                      runs_[y.run].rows, y.idx, keys_,
+                                      key_idx_);
+    if (cmp != 0) return cmp > 0;
+    return x.run > y.run;  // one ref per run: run index decides all ties
+  };
+  std::priority_queue<Ref, std::vector<Ref>, decltype(after)> heap(after);
+  for (size_t r = 0; r < runs_.size(); ++r) heap.push({r, 0});
+  const size_t take = std::min<uint64_t>(k_, candidates);
+  while (result_.num_rows() < take && !heap.empty()) {
+    Ref top = heap.top();
+    heap.pop();
+    result_.AppendRowFrom(runs_[top.run].rows, top.idx);
+    if (++top.idx < runs_[top.run].rows.num_rows()) heap.push(top);
+  }
+
+  // The candidate merge runs on the coordinator: its log2(R) comparison
+  // ladder over the candidates and the k-row emission are serial Amdahl
+  // terms (the cost model's top-k SortDemand prices the same split).
+  if (runs_.size() > 1) {
+    ctx_->ChargeSerialInstructions(
+        c.sort_per_row_log_row * static_cast<double>(candidates) *
+            std::log2(static_cast<double>(runs_.size())) *
+            static_cast<double>(keys_.size()) +
+        c.output_per_row * static_cast<double>(take));
+  }
+  runs_.clear();
+}
+
+Status ParallelTopKOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(child_->Open(ctx));
+  ECODB_RETURN_IF_ERROR(
+      ResolveSortKeys(child_->output_schema(), keys_, &key_idx_));
+  runs_.clear();
+  result_ = RecordBatch();
+  num_runs_ = 0;
+  spilled_ = false;
+  cursor_ = 0;
+  ECODB_RETURN_IF_ERROR(FormRuns());
+  SettleRunCharges();
+  MergeRuns();
+  return Status::OK();
+}
+
+Status ParallelTopKOp::Next(RecordBatch* out, bool* eos) {
+  if (cursor_ >= result_.num_rows()) {
+    *eos = true;
+    return Status::OK();
+  }
+  *eos = false;
+  const size_t take =
+      std::min(ctx_->options().batch_rows, result_.num_rows() - cursor_);
+  RecordBatch batch(child_->output_schema());
+  for (size_t i = 0; i < take; ++i) {
+    batch.AppendRowFrom(result_, cursor_ + i);
+  }
+  cursor_ += take;
+  *out = std::move(batch);
+  return Status::OK();
+}
+
+void ParallelTopKOp::Close() {
+  runs_.clear();
+  result_ = RecordBatch();
+  child_->Close();
+}
+
+}  // namespace ecodb::exec

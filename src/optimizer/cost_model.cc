@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/topk.h"
+
 namespace ecodb::optimizer {
 
 void ResourceEstimate::Merge(const ResourceEstimate& other) {
@@ -35,7 +37,8 @@ ResourceEstimate CostModel::ScanDemand(
   return demand;
 }
 
-ResourceEstimate CostModel::SortDemand(double rows, size_t num_keys) const {
+ResourceEstimate CostModel::SortDemand(double rows, size_t num_keys,
+                                       double limit_rows) const {
   ResourceEstimate demand;
   if (rows <= 1.0) return demand;
   const exec::CostConstants& k = params_.costs;
@@ -43,6 +46,26 @@ ResourceEstimate CostModel::SortDemand(double rows, size_t num_keys) const {
   const double run_rows = std::max(2.0, k.sort_run_rows);
   const double runs = std::max(1.0, std::ceil(rows / run_rows));
   const double per_run = std::min(rows, run_rows);
+  if (limit_rows >= 0.0) {
+    // Fused top-k (mirrors TopKOp / ParallelTopKOp's charges). Formation:
+    // every row pays the bounded heap's 1 + log2(min(run, k)) ladder,
+    // divided across workers. Merge: the coordinator's comparison ladder
+    // over the ≤ runs·k candidates plus the k-row emission are serial. At
+    // k ≈ n the merge ladder covers all n rows serially — strictly worse
+    // than the full sort's parallel merge — so the planner's fallback to
+    // Sort + Limit holds by construction.
+    const double k_eff = std::min(rows, std::max(0.0, limit_rows));
+    const double k_run = std::min(per_run, k_eff);
+    demand.cpu_instructions +=
+        exec::TopKCompareInstructions(k, rows, k_run, keys);
+    if (runs > 1.0) {
+      const double candidates = runs * k_run;
+      demand.serial_cpu_instructions +=
+          k.sort_per_row_log_row * candidates * std::log2(runs) * keys +
+          k.output_per_row * k_eff;
+    }
+    return demand;
+  }
   // Run formation: each run's n·log2(n) ladder, divided across workers.
   demand.cpu_instructions +=
       k.sort_per_row_log_row * rows * std::log2(per_run) * keys;

@@ -108,7 +108,14 @@ class CostModel {
   /// splitter selection and partition stitching stay serial (Amdahl).
   /// `costs.sort_run_rows` models the run size; at one run this reduces
   /// exactly to the classic serial n·log2(n).
-  ResourceEstimate SortDemand(double rows, size_t num_keys) const;
+  ///
+  /// `limit_rows >= 0` prices the fused top-k path instead: each run streams
+  /// through a bounded heap of min(run, k) rows — O(n log k) comparisons,
+  /// parallel — and the coordinator merges the ≤ runs·k candidates and emits
+  /// k rows (serial). Top-k keeps only a k-row working set, so callers price
+  /// its spill on k rows, not n (zero spill bytes when k fits the budget).
+  ResourceEstimate SortDemand(double rows, size_t num_keys,
+                              double limit_rows = -1.0) const;
 
   /// Converts accumulated demand into (seconds, Joules) at the given
   /// execution knobs, mirroring ExecContext's critical-path rule.

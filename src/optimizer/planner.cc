@@ -12,6 +12,7 @@
 #include "exec/parallel_scan.h"
 #include "exec/parallel_sort.h"
 #include "exec/scan.h"
+#include "exec/topk.h"
 
 namespace ecodb::optimizer {
 
@@ -237,7 +238,18 @@ std::string PhysicalPlan::Describe(const QuerySpec& spec) const {
            std::to_string(right_variant) + ")";
   }
   if (!spec.aggregates.empty()) out += " -> aggregate";
-  if (!spec.order_by.empty()) out += " -> sort";
+  if (!spec.order_by.empty()) {
+    if (use_topk && spec.limit.has_value()) {
+      out += " -> topk(" + std::to_string(*spec.limit) + ")";
+    } else {
+      out += " -> sort";
+      if (spec.limit.has_value()) {
+        out += " -> limit(" + std::to_string(*spec.limit) + ")";
+      }
+    }
+  } else if (spec.limit.has_value()) {
+    out += " -> limit(" + std::to_string(*spec.limit) + ")";
+  }
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 " [dop=%d pstate=%d est %.3fs %.1fJ rows=%.0f]", dop, pstate,
@@ -515,7 +527,6 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
 
   if (!spec.order_by.empty()) {
     const double n = cards.output_rows;
-    demand.Merge(model_->SortDemand(n, spec.order_by.size()));
     // Materialized width of the sorted rows: aggregate outputs are (group
     // keys + aggregate values); otherwise the projected scan/join width.
     double width;
@@ -530,15 +541,31 @@ StatusOr<PlanCost> Planner::PriceInternal(const QuerySpec& spec,
                             ScanColumnsFor(*spec.right, spec, false));
       }
     }
-    const double sort_bytes = n * width;
     const double budget =
         static_cast<double>(spec.sort_memory_budget_bytes);
-    demand.dram_traffic_bytes +=
-        static_cast<uint64_t>(std::min(sort_bytes, budget));
-    if (spec.sort_spill_device != nullptr && sort_bytes > budget) {
-      // External spill: every run is written once and read back once.
-      demand.device_bytes[spec.sort_spill_device] +=
-          static_cast<uint64_t>(2.0 * sort_bytes);
+    if (plan.use_topk && spec.limit.has_value()) {
+      // Fused top-k: O(n log k) comparisons, and only the k-row candidate
+      // set is held (and, if even that overflows the budget, spilled) —
+      // zero spill bytes whenever k rows fit the budget.
+      const double limit_rows = static_cast<double>(*spec.limit);
+      demand.Merge(model_->SortDemand(n, spec.order_by.size(), limit_rows));
+      const double kept_bytes = std::min(n, limit_rows) * width;
+      demand.dram_traffic_bytes +=
+          static_cast<uint64_t>(std::min(kept_bytes, budget));
+      if (spec.sort_spill_device != nullptr && kept_bytes > budget) {
+        demand.device_bytes[spec.sort_spill_device] +=
+            static_cast<uint64_t>(2.0 * kept_bytes);
+      }
+    } else {
+      demand.Merge(model_->SortDemand(n, spec.order_by.size()));
+      const double sort_bytes = n * width;
+      demand.dram_traffic_bytes +=
+          static_cast<uint64_t>(std::min(sort_bytes, budget));
+      if (spec.sort_spill_device != nullptr && sort_bytes > budget) {
+        // External spill: every run is written once and read back once.
+        demand.device_bytes[spec.sort_spill_device] +=
+            static_cast<uint64_t>(2.0 * sort_bytes);
+      }
     }
   }
 
@@ -588,6 +615,21 @@ StatusOr<PhysicalPlan> Planner::ChoosePlan(const QuerySpec& spec,
       spec.right.has_value() ? paths_for(*spec.right)
                              : std::vector<AccessPath>{AccessPath::kTableScan};
 
+  // ORDER BY + LIMIT adds the fused top-k as a priced alternative: it wins
+  // at small k (bounded heap, no spill) and loses at k ~ n (the candidate
+  // merge covers all rows serially), so the fallback rule is purely
+  // cost-based.
+  std::vector<bool> topk_choices = {false};
+  if (!spec.order_by.empty() && spec.limit.has_value()) {
+    topk_choices.push_back(true);
+  }
+
+  double output_rows = cards.output_rows;
+  if (spec.limit.has_value()) {
+    output_rows =
+        std::min(output_rows, static_cast<double>(*spec.limit));
+  }
+
   std::optional<PhysicalPlan> best;
   for (size_t lv = 0; lv < spec.left.variants.size(); ++lv) {
     const size_t rv_count =
@@ -598,21 +640,24 @@ StatusOr<PhysicalPlan> Planner::ChoosePlan(const QuerySpec& spec,
           for (JoinAlgorithm algo : algos) {
             for (int dop : options_.dops) {
               for (int p = 0; p < num_pstates; ++p) {
-                PhysicalPlan plan;
-                plan.left_variant = static_cast<int>(lv);
-                plan.right_variant = static_cast<int>(rv);
-                plan.left_path = lp;
-                plan.right_path = rp;
-                plan.join_algo = algo;
-                plan.dop = dop;
-                plan.pstate = p;
-                plan.output_rows = cards.output_rows;
-                ECODB_ASSIGN_OR_RETURN(plan.cost,
-                                       PriceInternal(spec, plan, cards));
-                if (!best.has_value() ||
-                    plan.cost.Scalarize(objective) <
-                        best->cost.Scalarize(objective)) {
-                  best = plan;
+                for (bool use_topk : topk_choices) {
+                  PhysicalPlan plan;
+                  plan.left_variant = static_cast<int>(lv);
+                  plan.right_variant = static_cast<int>(rv);
+                  plan.left_path = lp;
+                  plan.right_path = rp;
+                  plan.join_algo = algo;
+                  plan.dop = dop;
+                  plan.pstate = p;
+                  plan.use_topk = use_topk;
+                  plan.output_rows = output_rows;
+                  ECODB_ASSIGN_OR_RETURN(plan.cost,
+                                         PriceInternal(spec, plan, cards));
+                  if (!best.has_value() ||
+                      plan.cost.Scalarize(objective) <
+                          best->cost.Scalarize(objective)) {
+                    best = plan;
+                  }
                 }
               }
             }
@@ -707,8 +752,21 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
     }
   }
 
+  bool limit_applied = false;
   if (!spec.order_by.empty()) {
-    if (parallel) {
+    if (plan.use_topk && spec.limit.has_value()) {
+      const size_t limit = static_cast<size_t>(*spec.limit);
+      if (parallel) {
+        root = std::make_unique<exec::ParallelTopKOp>(
+            std::move(root), spec.order_by, limit,
+            spec.sort_memory_budget_bytes, spec.sort_spill_device);
+      } else {
+        root = std::make_unique<exec::TopKOp>(
+            std::move(root), spec.order_by, limit,
+            spec.sort_memory_budget_bytes, spec.sort_spill_device);
+      }
+      limit_applied = true;
+    } else if (parallel) {
       root = std::make_unique<exec::ParallelSortOp>(
           std::move(root), spec.order_by, spec.sort_memory_budget_bytes,
           spec.sort_spill_device);
@@ -717,6 +775,10 @@ StatusOr<exec::OperatorPtr> Planner::BuildOperator(
                                             spec.sort_memory_budget_bytes,
                                             spec.sort_spill_device);
     }
+  }
+  if (spec.limit.has_value() && !limit_applied) {
+    root = std::make_unique<exec::LimitOp>(
+        std::move(root), static_cast<size_t>(*spec.limit));
   }
   return root;
 }

@@ -70,6 +70,13 @@ struct QuerySpec {
   /// one sequential write + read of every run on that device.
   uint64_t sort_memory_budget_bytes = UINT64_MAX;
   storage::StorageDevice* sort_spill_device = nullptr;
+  /// Optional LIMIT on the final output. With order_by present the planner
+  /// also enumerates fusing ORDER BY + LIMIT into a bounded-heap top-k
+  /// (TopKOp / ParallelTopKOp) and picks it when priced cheaper — typically
+  /// small k, where it saves O(n log n) comparisons and all spill I/O —
+  /// falling back to Sort + Limit otherwise (k ≈ n). Both paths emit
+  /// byte-identical rows.
+  std::optional<uint64_t> limit;
 };
 
 enum class JoinAlgorithm { kHash, kHashSwapped, kMerge, kNestedLoop };
@@ -85,8 +92,11 @@ struct PhysicalPlan {
   JoinAlgorithm join_algo = JoinAlgorithm::kHash;
   int dop = 1;
   int pstate = 0;
+  /// True when ORDER BY + LIMIT is fused into the bounded-heap top-k path
+  /// (requires spec.order_by non-empty and spec.limit set).
+  bool use_topk = false;
   PlanCost cost;
-  /// Estimated output cardinality.
+  /// Estimated output cardinality (clamped to spec.limit when set).
   double output_rows = 0.0;
 
   std::string Describe(const QuerySpec& spec) const;
@@ -113,6 +123,10 @@ class Planner {
  public:
   /// `model` must outlive the planner.
   Planner(CostModel* model, PlannerOptions options = {});
+
+  /// The options the planner enumerates with (after normalization — e.g. an
+  /// empty dop list becomes {1}).
+  const PlannerOptions& options() const { return options_; }
 
   /// Returns the best plan under `objective`, or an error if the spec is
   /// malformed (no variants, missing join keys, ...).

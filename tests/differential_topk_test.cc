@@ -1,0 +1,253 @@
+// Differential test harness for plan equivalence: randomized ORDER BY +
+// LIMIT specs executed through the fused top-k operators AND through
+// Sort + Limit, at dop 1/2/4/8.
+//
+// The oracle is the serial SortOp (stable sort) followed by LimitOp — the
+// semantics the planner's fusion must preserve. For every generated case
+// (varying n, k, key count, duplicate density, ASC/DESC, spill pressure)
+// the harness asserts:
+//   1. rows are byte-identical across every path and every dop, and
+//   2. within each parallel family the modeled charges (instructions, I/O
+//      bytes, busy core-seconds, serial core-seconds) are bit-identical
+//      across dop — DESIGN.md §7's determinism contract.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/operator.h"
+#include "exec/parallel_scan.h"
+#include "exec/parallel_sort.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "exec/topk.h"
+#include "power/platform.h"
+#include "storage/ssd.h"
+#include "storage/table_storage.h"
+#include "util/random.h"
+
+namespace ecodb::exec {
+namespace {
+
+using catalog::Column;
+using catalog::DataType;
+using catalog::Schema;
+
+struct CaseSpec {
+  uint64_t seed = 0;
+  int n = 0;
+  size_t k = 0;
+  std::vector<SortKey> keys;
+  int64_t dup_domain = 1;  // small domain -> heavy key duplication
+  uint64_t budget = UINT64_MAX;
+  bool spill = false;
+};
+
+class DifferentialTopKTest : public ::testing::Test {
+ protected:
+  DifferentialTopKTest() : platform_(power::MakeProportionalPlatform()) {
+    ssd_ = std::make_unique<storage::SsdDevice>("s0", power::SsdSpec{},
+                                                platform_->meter());
+  }
+
+  /// Draws one random case: n, k, 1-3 sort keys over mixed types with
+  /// random directions, duplicate density, and occasional spill pressure.
+  CaseSpec DrawCase(uint64_t seed) {
+    Rng rng(seed);
+    CaseSpec c;
+    c.seed = seed;
+    c.n = static_cast<int>(rng.Uniform(0, 3000));
+    switch (rng.Uniform(0, 5)) {
+      case 0:
+        c.k = 0;
+        break;
+      case 1:
+        c.k = 1;
+        break;
+      case 2:
+        c.k = static_cast<size_t>(rng.Uniform(2, 64));
+        break;
+      case 3:
+        c.k = static_cast<size_t>(c.n) / 2;
+        break;
+      case 4:
+        c.k = static_cast<size_t>(c.n);
+        break;
+      default:
+        c.k = static_cast<size_t>(c.n) + 10;  // k > n
+        break;
+    }
+    const int64_t domains[] = {2, 7, 40, std::max<int64_t>(1, c.n)};
+    c.dup_domain = domains[rng.Uniform(0, 3)];
+    const char* columns[] = {"a", "b", "c"};
+    const int num_keys = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < num_keys; ++i) {
+      c.keys.push_back({columns[i], rng.Bernoulli(0.5)});
+    }
+    if (rng.Bernoulli(0.3)) {
+      c.spill = true;
+      c.budget = 1024;  // a few hundred rows overflow this
+    }
+    return c;
+  }
+
+  std::unique_ptr<storage::TableStorage> MakeTable(const CaseSpec& c) {
+    Schema schema({Column{"a", DataType::kInt64, 8},
+                   Column{"b", DataType::kDouble, 8},
+                   Column{"c", DataType::kString, 2},
+                   Column{"payload", DataType::kInt64, 8}});
+    auto table = std::make_unique<storage::TableStorage>(
+        1, schema, storage::TableLayout::kColumn, ssd_.get());
+    std::vector<storage::ColumnData> cols(4);
+    cols[0].type = DataType::kInt64;
+    cols[1].type = DataType::kDouble;
+    cols[2].type = DataType::kString;
+    cols[3].type = DataType::kInt64;
+    Rng rng(c.seed ^ 0xD1FFUL);
+    for (int i = 0; i < c.n; ++i) {
+      cols[0].i64.push_back(rng.Uniform(0, c.dup_domain - 1));
+      // Multiples of 0.25: exact in binary floating point.
+      cols[1].f64.push_back(
+          static_cast<double>(rng.Uniform(0, c.dup_domain - 1)) * 0.25);
+      cols[2].str.push_back(std::string(
+          1, static_cast<char>('a' + rng.Uniform(
+                                       0, std::min<int64_t>(c.dup_domain,
+                                                            26) -
+                                              1))));
+      cols[3].i64.push_back(i);  // unique: exposes any tie-break drift
+    }
+    EXPECT_TRUE(table->Append(cols).ok());
+    return table;
+  }
+
+  struct RunOutcome {
+    std::vector<std::vector<Value>> rows;
+    QueryStats stats;
+  };
+
+  RunOutcome Run(Operator* root, int dop) {
+    ExecOptions options;
+    options.dop = dop;
+    options.morsel_rows = 256;  // several runs even for small n
+    ExecContext ctx(platform_.get(), options);
+    auto result = CollectAll(root, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    RunOutcome out;
+    out.stats = ctx.Finish();
+    if (!result.ok()) return out;
+    const size_t ncols = static_cast<size_t>(result->schema.num_columns());
+    for (const auto& batch : result->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        std::vector<Value> row;
+        row.reserve(ncols);
+        for (size_t c = 0; c < ncols; ++c) row.push_back(batch.GetValue(r, c));
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  /// Asserts the §7 contract within a family: charges bit-identical to the
+  /// family's dop-1 baseline.
+  static void ExpectChargesIdentical(const QueryStats& got,
+                                     const QueryStats& base) {
+    EXPECT_EQ(got.cpu_instructions, base.cpu_instructions);
+    EXPECT_EQ(got.io_bytes, base.io_bytes);
+    EXPECT_EQ(got.cpu_seconds, base.cpu_seconds);
+    EXPECT_EQ(got.cpu_serial_seconds, base.cpu_serial_seconds);
+  }
+
+  void RunCase(const CaseSpec& c) {
+    auto table = MakeTable(c);
+    storage::StorageDevice* spill = c.spill ? ssd_.get() : nullptr;
+
+    // Oracle: serial stable sort, then limit.
+    LimitOp oracle(
+        std::make_unique<SortOp>(std::make_unique<TableScanOp>(table.get()),
+                                 c.keys, c.budget, spill),
+        c.k);
+    const RunOutcome expected = Run(&oracle, 1);
+    ASSERT_EQ(expected.rows.size(),
+              std::min<size_t>(c.k, static_cast<size_t>(c.n)));
+
+    // Serial fused path.
+    TopKOp serial(std::make_unique<TableScanOp>(table.get()), c.keys, c.k,
+                  c.budget, spill);
+    EXPECT_EQ(Run(&serial, 1).rows, expected.rows) << "serial TopKOp";
+
+    // Parallel families across the dop ladder.
+    std::optional<QueryStats> topk_base, sort_base;
+    for (int dop : {1, 2, 4, 8}) {
+      SCOPED_TRACE("dop=" + std::to_string(dop));
+      ParallelTopKOp topk(
+          std::make_unique<ParallelTableScanOp>(table.get()), c.keys, c.k,
+          c.budget, spill);
+      const RunOutcome t = Run(&topk, dop);
+      EXPECT_EQ(t.rows, expected.rows);
+      if (!topk_base.has_value()) {
+        topk_base = t.stats;
+      } else {
+        ExpectChargesIdentical(t.stats, *topk_base);
+      }
+
+      LimitOp sl(std::make_unique<ParallelSortOp>(
+                     std::make_unique<ParallelTableScanOp>(table.get()),
+                     c.keys, c.budget, spill),
+                 c.k);
+      const RunOutcome s = Run(&sl, dop);
+      EXPECT_EQ(s.rows, expected.rows);
+      if (!sort_base.has_value()) {
+        sort_base = s.stats;
+      } else {
+        ExpectChargesIdentical(s.stats, *sort_base);
+      }
+    }
+  }
+
+  std::unique_ptr<power::HardwarePlatform> platform_;
+  std::unique_ptr<storage::SsdDevice> ssd_;
+};
+
+TEST_F(DifferentialTopKTest, RandomizedSpecsMatchOracleAtEveryDop) {
+  int cases = 0;
+  for (uint64_t seed = 1; seed <= 56; ++seed) {
+    const CaseSpec c = DrawCase(0xC0FFEE00ULL + seed);
+    SCOPED_TRACE("seed=" + std::to_string(c.seed) +
+                 " n=" + std::to_string(c.n) + " k=" + std::to_string(c.k) +
+                 " keys=" + std::to_string(c.keys.size()) +
+                 " dup_domain=" + std::to_string(c.dup_domain) +
+                 (c.spill ? " spill" : ""));
+    RunCase(c);
+    ++cases;
+  }
+  EXPECT_GE(cases, 50);  // the acceptance floor for randomized coverage
+}
+
+// A couple of pinned regressions the random draw might miss.
+
+TEST_F(DifferentialTopKTest, DescendingKeysWithTotalDuplication) {
+  CaseSpec c;
+  c.seed = 7;
+  c.n = 1200;
+  c.k = 17;
+  c.keys = {{"a", false}, {"c", true}};
+  c.dup_domain = 2;  // nearly every row ties on both keys
+  RunCase(c);
+}
+
+TEST_F(DifferentialTopKTest, SpillingTopKStillMatchesOracle) {
+  CaseSpec c;
+  c.seed = 11;
+  c.n = 2500;
+  c.k = 2000;  // kept set overflows the budget -> fused path spills too
+  c.keys = {{"b", true}, {"a", false}};
+  c.dup_domain = 40;
+  c.spill = true;
+  c.budget = 1024;
+  RunCase(c);
+}
+
+}  // namespace
+}  // namespace ecodb::exec

@@ -70,6 +70,29 @@ TEST(EcoDb, OpenWithHddArrayConfiguresTrays) {
   EXPECT_NEAR(chassis_joules, 80.0 + 3 * 45.0, 1e-6);
 }
 
+TEST(EcoDb, DeriveDopLadderFollowsPlatformCores) {
+  DbConfig config = SsdConfig();
+  config.derive_dop_ladder = true;
+  auto db = EcoDb::Open(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->planner()->options().dops,
+            optimizer::PlatformDopLadder(*(*db)->platform()));
+
+  // Dl785 models 32 physical cores -> the full power-of-two ladder.
+  DbConfig big = SsdConfig();
+  big.preset = PlatformPreset::kDl785;
+  big.derive_dop_ladder = true;
+  auto big_db = EcoDb::Open(big);
+  ASSERT_TRUE(big_db.ok());
+  EXPECT_EQ((*big_db)->planner()->options().dops,
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+
+  // Without the flag the planner keeps its default serial-only ladder.
+  auto plain = EcoDb::Open(SsdConfig());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->planner()->options().dops, (std::vector<int>{1}));
+}
+
 TEST(EcoDb, CreateLoadQueryRoundTrip) {
   auto db = EcoDb::Open(SsdConfig());
   ASSERT_TRUE(db.ok());

@@ -383,6 +383,157 @@ TEST_F(OptimizerTest, OrderByPlansBuildSerialAndParallelSorts) {
   EXPECT_GT(spill_plan->joules, plan->cost.joules);
 }
 
+TEST_F(OptimizerTest, PlannerFusesTopKForSmallLimit) {
+  auto table = MakeTable(1, 50000, 50);
+  QuerySpec spec;
+  spec.left.name = "t";
+  spec.left.variants = {table.get()};
+  spec.order_by = {{"k", true}, {"v", false}};
+  spec.limit = 10;
+  // Tight budget: the full sort spills ~1 MiB to the SSD while the fused
+  // top-k holds 10 rows in memory, so fusion wins on wall-clock seconds
+  // even under the pure-performance objective.
+  spec.sort_memory_budget_bytes = 4 * 1024;
+  spec.sort_spill_device = ssd_.get();
+
+  CostModel model = MakeModel();
+  PlannerOptions options;
+  options.dops = {1, 4};
+  Planner planner(&model, options);
+  auto plan = planner.ChoosePlan(spec, Objective::Performance());
+  ASSERT_TRUE(plan.ok());
+  // O(n log 10) comparisons and zero spill beat O(n log n) plus spill I/O.
+  EXPECT_TRUE(plan->use_topk);
+  EXPECT_NE(plan->Describe(spec).find("-> topk(10)"), std::string::npos);
+  EXPECT_DOUBLE_EQ(plan->output_rows, 10.0);
+
+  // The fused tree emits exactly the rows Sort + Limit would.
+  PhysicalPlan unfused = *plan;
+  unfused.use_topk = false;
+  std::vector<std::vector<exec::Value>> reference;
+  for (const PhysicalPlan* p : {&*plan, &unfused}) {
+    auto op = planner.BuildOperator(spec, *p);
+    ASSERT_TRUE(op.ok());
+    exec::ExecOptions exec_options;
+    exec_options.dop = p->dop;
+    exec::ExecContext ctx(platform_.get(), exec_options);
+    auto rows = exec::CollectAll(op->get(), &ctx);
+    ctx.Finish();
+    ASSERT_TRUE(rows.ok());
+    std::vector<std::vector<exec::Value>> collected;
+    for (const auto& batch : rows->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        collected.push_back({batch.GetValue(r, 0), batch.GetValue(r, 1)});
+      }
+    }
+    ASSERT_EQ(collected.size(), 10u);
+    if (reference.empty()) {
+      reference = std::move(collected);
+    } else {
+      EXPECT_EQ(collected, reference);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, PlannerFallsBackToSortLimitForLargeLimit) {
+  auto table = MakeTable(1, 5000, 50);
+  QuerySpec spec;
+  spec.left.name = "t";
+  spec.left.variants = {table.get()};
+  spec.order_by = {{"k", true}};
+  spec.limit = 5000;  // k ~ n: the top-k merge covers all rows serially
+
+  CostModel model = MakeModel();
+  Planner planner(&model);
+  auto plan = planner.ChoosePlan(spec, Objective::Performance());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->use_topk);
+  EXPECT_NE(plan->Describe(spec).find("-> sort -> limit(5000)"),
+            std::string::npos);
+
+  // The same comparison at the demand level: top-k total comparison work at
+  // k = n is never below the full sort's.
+  const ResourceEstimate sort = model.SortDemand(5000.0, 1);
+  const ResourceEstimate topk = model.SortDemand(5000.0, 1, 5000.0);
+  EXPECT_GE(topk.cpu_instructions + topk.serial_cpu_instructions,
+            sort.cpu_instructions + sort.serial_cpu_instructions);
+  // ... while small k prices far below it.
+  const ResourceEstimate topk10 = model.SortDemand(5000.0, 1, 10.0);
+  EXPECT_LT(topk10.cpu_instructions + topk10.serial_cpu_instructions,
+            0.5 * (sort.cpu_instructions + sort.serial_cpu_instructions));
+}
+
+TEST_F(OptimizerTest, TopKPricingHasZeroSpillWhenKFitsBudget) {
+  auto table = MakeTable(1, 50000, 50);
+  QuerySpec spec;
+  spec.left.name = "t";
+  spec.left.variants = {table.get()};
+  spec.order_by = {{"k", true}};
+  spec.limit = 10;
+  spec.sort_memory_budget_bytes = 4 * 1024;  // the full sort must spill
+  spec.sort_spill_device = ssd_.get();
+
+  CostModel model = MakeModel();
+  Planner planner(&model);
+  PhysicalPlan fused;
+  fused.use_topk = true;
+  auto fused_cost = planner.PricePlan(spec, fused);
+  ASSERT_TRUE(fused_cost.ok());
+
+  // Removing the spill device changes nothing for the fused plan: its
+  // 10-row candidate set fits the budget, so zero spill bytes are priced.
+  QuerySpec no_spill = spec;
+  no_spill.sort_spill_device = nullptr;
+  auto fused_no_device = planner.PricePlan(no_spill, fused);
+  ASSERT_TRUE(fused_no_device.ok());
+  EXPECT_DOUBLE_EQ(fused_cost->seconds, fused_no_device->seconds);
+  EXPECT_DOUBLE_EQ(fused_cost->joules, fused_no_device->joules);
+
+  // The unfused plan spills all 50k rows; pricing must show it.
+  PhysicalPlan unfused;
+  unfused.use_topk = false;
+  auto unfused_cost = planner.PricePlan(spec, unfused);
+  auto unfused_no_device = planner.PricePlan(no_spill, unfused);
+  ASSERT_TRUE(unfused_cost.ok());
+  ASSERT_TRUE(unfused_no_device.ok());
+  EXPECT_GT(unfused_cost->seconds, unfused_no_device->seconds);
+  EXPECT_GT(unfused_cost->joules, fused_cost->joules);
+}
+
+TEST_F(OptimizerTest, LimitWithoutOrderByBuildsPlainLimit) {
+  auto table = MakeTable(1, 1000, 50);
+  QuerySpec spec;
+  spec.left.name = "t";
+  spec.left.variants = {table.get()};
+  spec.limit = 25;
+
+  CostModel model = MakeModel();
+  Planner planner(&model);
+  auto plan = planner.ChoosePlan(spec, Objective::Performance());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->use_topk);
+  EXPECT_NE(plan->Describe(spec).find("-> limit(25)"), std::string::npos);
+  auto op = planner.BuildOperator(spec, *plan);
+  ASSERT_TRUE(op.ok());
+  exec::ExecContext ctx(platform_.get(), exec::ExecOptions{});
+  auto rows = exec::CollectAll(op->get(), &ctx);
+  ctx.Finish();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->TotalRows(), 25u);
+}
+
+TEST_F(OptimizerTest, PlatformDopLadderPinsToCoreCount) {
+  // Dl785 models 8 sockets x 4 cores; the engine-level ladder policy stops
+  // exactly at the physical core count.
+  auto dl785 = power::MakeDl785Platform();
+  EXPECT_EQ(PlatformDopLadder(*dl785),
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+  // FlashScan models a single core: a one-entry ladder.
+  EXPECT_EQ(PlatformDopLadder(*platform_), (std::vector<int>{1}));
+  // Non-power-of-two core counts keep the top rung.
+  EXPECT_EQ(DopLadder(6), (std::vector<int>{1, 2, 4, 6}));
+}
+
 TEST_F(OptimizerTest, EstimatedTimeTracksMeasuredTime) {
   // The cost model and the executor share constants, so the estimate must
   // land within a factor of ~2 of the measurement for a simple scan.

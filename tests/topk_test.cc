@@ -1,0 +1,340 @@
+// Edge-case tests for the top-k operators (TopKOp, ParallelTopKOp) and
+// LimitOp: limit 0, limit > n, limits straddling batch boundaries, empty
+// children, all-equal keys (stability), and exactly-once spill accounting
+// across Open retries.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/filter_project.h"
+#include "exec/operator.h"
+#include "exec/parallel_scan.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "exec/topk.h"
+#include "power/platform.h"
+#include "storage/ssd.h"
+#include "storage/table_storage.h"
+
+namespace ecodb::exec {
+namespace {
+
+using catalog::Column;
+using catalog::DataType;
+using catalog::Schema;
+
+class TopKTest : public ::testing::Test {
+ protected:
+  TopKTest() : platform_(power::MakeProportionalPlatform()) {
+    ssd_ = std::make_unique<storage::SsdDevice>("s0", power::SsdSpec{},
+                                                platform_->meter());
+  }
+
+  /// A table with duplicated keys and a unique payload column, so any
+  /// ordering difference — including tie-break order — shows up in rows.
+  std::unique_ptr<storage::TableStorage> MakeTable(int n, int key_ndv) {
+    Schema schema({Column{"key", DataType::kInt64, 8},
+                   Column{"payload", DataType::kInt64, 8}});
+    auto table = std::make_unique<storage::TableStorage>(
+        1, schema, storage::TableLayout::kColumn, ssd_.get());
+    std::vector<storage::ColumnData> cols(2);
+    cols[0].type = DataType::kInt64;
+    cols[1].type = DataType::kInt64;
+    for (int i = 0; i < n; ++i) {
+      cols[0].i64.push_back(key_ndv > 0 ? (i * 2654435761LL) % key_ndv : 0);
+      cols[1].i64.push_back(i);
+    }
+    EXPECT_TRUE(table->Append(cols).ok());
+    return table;
+  }
+
+  struct RunOutcome {
+    std::vector<std::vector<Value>> rows;
+    QueryStats stats;
+  };
+
+  RunOutcome Run(Operator* root, int dop, size_t batch_rows = 4096,
+                 size_t morsel_rows = 1024) {
+    ExecOptions options;
+    options.dop = dop;
+    options.batch_rows = batch_rows;
+    options.morsel_rows = morsel_rows;
+    ExecContext ctx(platform_.get(), options);
+    auto result = CollectAll(root, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    RunOutcome out;
+    out.stats = ctx.Finish();
+    if (!result.ok()) return out;
+    const size_t ncols = static_cast<size_t>(result->schema.num_columns());
+    for (const auto& batch : result->batches) {
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        std::vector<Value> row;
+        row.reserve(ncols);
+        for (size_t c = 0; c < ncols; ++c) row.push_back(batch.GetValue(r, c));
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<power::HardwarePlatform> platform_;
+  std::unique_ptr<storage::SsdDevice> ssd_;
+};
+
+std::vector<SortKey> KeyAsc() { return {{"key", true}}; }
+
+TEST_F(TopKTest, LimitZeroEmitsNothing) {
+  auto table = MakeTable(500, 17);
+  TopKOp serial(std::make_unique<TableScanOp>(table.get()), KeyAsc(), 0);
+  EXPECT_TRUE(Run(&serial, 1).rows.empty());
+
+  ParallelTopKOp parallel(
+      std::make_unique<ParallelTableScanOp>(table.get()), KeyAsc(), 0);
+  EXPECT_TRUE(Run(&parallel, 4, 4096, 128).rows.empty());
+
+  LimitOp limit(std::make_unique<TableScanOp>(table.get()), 0);
+  EXPECT_TRUE(Run(&limit, 1).rows.empty());
+}
+
+TEST_F(TopKTest, LimitGreaterThanInputReturnsFullSortedOutput) {
+  auto table = MakeTable(300, 11);
+  SortOp sort(std::make_unique<TableScanOp>(table.get()), KeyAsc());
+  const RunOutcome expected = Run(&sort, 1);
+  ASSERT_EQ(expected.rows.size(), 300u);
+
+  TopKOp serial(std::make_unique<TableScanOp>(table.get()), KeyAsc(), 5000);
+  EXPECT_EQ(Run(&serial, 1).rows, expected.rows);
+
+  ParallelTopKOp parallel(
+      std::make_unique<ParallelTableScanOp>(table.get()), KeyAsc(), 5000);
+  EXPECT_EQ(Run(&parallel, 4, 4096, 64).rows, expected.rows);
+
+  LimitOp limit(std::make_unique<TableScanOp>(table.get()), 5000);
+  EXPECT_EQ(Run(&limit, 1).rows.size(), 300u);
+}
+
+TEST_F(TopKTest, LimitStraddlingBatchBoundaries) {
+  auto table = MakeTable(1000, 37);
+  // 100-row output batches; limits cutting before, on, and after a batch
+  // boundary all truncate exactly.
+  for (const size_t k : {99u, 100u, 101u, 250u}) {
+    LimitOp ref(std::make_unique<SortOp>(
+                    std::make_unique<TableScanOp>(table.get()), KeyAsc()),
+                k);
+    const RunOutcome expected = Run(&ref, 1, /*batch_rows=*/100);
+    ASSERT_EQ(expected.rows.size(), k);
+
+    TopKOp serial(std::make_unique<TableScanOp>(table.get()), KeyAsc(), k);
+    EXPECT_EQ(Run(&serial, 1, /*batch_rows=*/100).rows, expected.rows)
+        << "k=" << k;
+
+    ParallelTopKOp parallel(
+        std::make_unique<ParallelTableScanOp>(table.get()), KeyAsc(), k);
+    EXPECT_EQ(Run(&parallel, 4, /*batch_rows=*/100, 128).rows, expected.rows)
+        << "k=" << k;
+  }
+}
+
+TEST_F(TopKTest, EmptyChildYieldsEmptyOutput) {
+  auto table = MakeTable(200, 13);
+  const auto none = Col("payload") < Lit(int64_t{-1});
+  TopKOp serial(
+      std::make_unique<FilterOp>(
+          std::make_unique<TableScanOp>(table.get(),
+                                        std::vector<std::string>{}, none),
+          none),
+      KeyAsc(), 10);
+  EXPECT_TRUE(Run(&serial, 1).rows.empty());
+
+  ParallelTopKOp parallel(
+      std::make_unique<ParallelTableScanOp>(
+          table.get(), std::vector<std::string>{}, nullptr, none),
+      KeyAsc(), 10);
+  const RunOutcome got = Run(&parallel, 4, 4096, 64);
+  EXPECT_TRUE(got.rows.empty());
+  EXPECT_EQ(parallel.num_runs(), 0u);
+}
+
+TEST_F(TopKTest, AllEqualKeysKeepFirstKInputRows) {
+  // key is constant, so stability demands the output be the first k input
+  // rows in input order — payload 0..k-1.
+  auto table = MakeTable(800, /*key_ndv=*/0);
+  const size_t k = 25;
+
+  TopKOp serial(std::make_unique<TableScanOp>(table.get()), KeyAsc(), k);
+  const RunOutcome s = Run(&serial, 1);
+  ASSERT_EQ(s.rows.size(), k);
+  for (size_t r = 0; r < k; ++r) {
+    EXPECT_EQ(s.rows[r][1].i64, static_cast<int64_t>(r));
+  }
+
+  for (int dop : {1, 2, 4, 8}) {
+    ParallelTopKOp parallel(
+        std::make_unique<ParallelTableScanOp>(table.get()), KeyAsc(), k);
+    const RunOutcome p = Run(&parallel, dop, 4096, 128);
+    EXPECT_EQ(p.rows, s.rows) << "dop=" << dop;
+  }
+}
+
+TEST_F(TopKTest, SerialChildFallsBackToSingleRun) {
+  auto table = MakeTable(600, 19);
+  // FilterOp is not a MorselSource, so the parallel operator degenerates to
+  // one candidate run over the whole input.
+  ParallelTopKOp parallel(
+      std::make_unique<FilterOp>(std::make_unique<TableScanOp>(table.get()),
+                                 Col("payload") < Lit(int64_t{400})),
+      KeyAsc(), 30);
+  const RunOutcome got = Run(&parallel, 4);
+  EXPECT_EQ(parallel.num_runs(), 1u);
+  ASSERT_EQ(got.rows.size(), 30u);
+  for (size_t r = 1; r < got.rows.size(); ++r) {
+    EXPECT_LE(got.rows[r - 1][0].i64, got.rows[r][0].i64);
+  }
+}
+
+TEST_F(TopKTest, MissingSortColumnIsNotFound) {
+  auto table = MakeTable(50, 7);
+  TopKOp serial(std::make_unique<TableScanOp>(table.get()),
+                {{"no_such_column", true}}, 5);
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  EXPECT_EQ(serial.Open(&ctx).code(), StatusCode::kNotFound);
+
+  ParallelTopKOp parallel(std::make_unique<ParallelTableScanOp>(table.get()),
+                          {{"no_such_column", true}}, 5);
+  ExecContext ctx2(platform_.get(), ExecOptions{});
+  EXPECT_EQ(parallel.Open(&ctx2).code(), StatusCode::kNotFound);
+}
+
+// --- Exactly-once accounting across Open retries ------------------------------
+
+/// Emits `rows` rows in fixed-size batches; fails the drain once at
+/// `fail_at_batch` on the first Open, then replays cleanly on retry.
+class FlakyRowsOp final : public Operator {
+ public:
+  FlakyRowsOp(int rows, int batch_rows, int fail_at_batch)
+      : schema_({Column{"k", DataType::kInt64, 8}}),
+        rows_(rows),
+        batch_rows_(batch_rows),
+        fail_at_batch_(fail_at_batch) {}
+
+  const catalog::Schema& output_schema() const override { return schema_; }
+
+  Status Open(ExecContext*) override {
+    ++opens_;
+    emitted_ = 0;
+    batch_index_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(RecordBatch* out, bool* eos) override {
+    if (opens_ == 1 && batch_index_ == fail_at_batch_) {
+      return Status::Internal("transient source failure");
+    }
+    if (emitted_ >= rows_) {
+      *eos = true;
+      return Status::OK();
+    }
+    RecordBatch batch(schema_);
+    storage::ColumnData& lane = batch.column(0);
+    const int take = std::min(batch_rows_, rows_ - emitted_);
+    for (int i = 0; i < take; ++i) {
+      lane.i64.push_back(static_cast<int64_t>((emitted_ + i) * 7919 % rows_));
+    }
+    batch.SealRows(static_cast<size_t>(take));
+    emitted_ += take;
+    ++batch_index_;
+    *eos = false;
+    *out = std::move(batch);
+    return Status::OK();
+  }
+
+  void Close() override {}
+
+ private:
+  catalog::Schema schema_;
+  int rows_;
+  int batch_rows_;
+  int fail_at_batch_;
+  int opens_ = 0;
+  int emitted_ = 0;
+  int batch_index_ = 0;
+};
+
+TEST_F(TopKTest, TopKChargesSpillExactlyOnceAcrossOpenRetry) {
+  // k = n, so the kept working set grows to all 1000 rows x 8 B and crosses
+  // the 2 KiB budget mid-drain. The first Open fails at batch 6, after
+  // spill writes began; the retry must not re-bill the written prefix.
+  TopKOp topk(std::make_unique<FlakyRowsOp>(1000, 100, 6), {{"k", true}},
+              1000, /*memory_budget_bytes=*/2048, ssd_.get());
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  EXPECT_EQ(topk.Open(&ctx).code(), StatusCode::kInternal);
+  EXPECT_TRUE(topk.spilled());  // sticky: the spill really happened
+
+  ASSERT_TRUE(topk.Open(&ctx).ok());
+  RecordBatch batch;
+  bool eos = false;
+  uint64_t rows = 0;
+  int64_t prev = INT64_MIN;
+  while (true) {
+    ASSERT_TRUE(topk.Next(&batch, &eos).ok());
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      EXPECT_LE(prev, batch.column(0).i64[r]);
+      prev = batch.column(0).i64[r];
+      ++rows;
+    }
+  }
+  topk.Close();
+  EXPECT_EQ(rows, 1000u);
+
+  // Exactly-once: all 8000 kept bytes written once and read once.
+  const QueryStats stats = ctx.Finish();
+  EXPECT_EQ(stats.io_bytes, 2u * 8000u);
+}
+
+TEST_F(TopKTest, SmallKNeverSpillsUnderTightBudget) {
+  // The whole point of the fusion: a k-row working set fits budgets the
+  // full sort cannot. 10 rows x 16 B << 2 KiB.
+  auto table = MakeTable(5000, 101);
+  TopKOp topk(std::make_unique<TableScanOp>(table.get()), KeyAsc(), 10,
+              /*memory_budget_bytes=*/2048, ssd_.get());
+  const RunOutcome got = Run(&topk, 1);
+  EXPECT_EQ(got.rows.size(), 10u);
+  EXPECT_FALSE(topk.spilled());
+
+  ParallelTopKOp parallel(std::make_unique<ParallelTableScanOp>(table.get()),
+                          KeyAsc(), 10, /*memory_budget_bytes=*/4096,
+                          ssd_.get());
+  const RunOutcome p = Run(&parallel, 4, 4096, 1024);
+  EXPECT_EQ(p.rows, got.rows);
+  EXPECT_FALSE(parallel.spilled());
+}
+
+TEST_F(TopKTest, LimitOpResetsEmittedCountAcrossOpenRetry) {
+  // First drain dies mid-stream; on the retried Open, LimitOp must emit a
+  // full fresh quota, not the remainder of the failed attempt.
+  LimitOp limit(std::make_unique<FlakyRowsOp>(300, 100, 2), 250);
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  ASSERT_TRUE(limit.Open(&ctx).ok());
+  RecordBatch batch;
+  bool eos = false;
+  ASSERT_TRUE(limit.Next(&batch, &eos).ok());  // batch 0 passes
+  ASSERT_TRUE(limit.Next(&batch, &eos).ok());  // batch 1 passes
+  EXPECT_EQ(limit.Next(&batch, &eos).code(), StatusCode::kInternal);
+
+  ASSERT_TRUE(limit.Open(&ctx).ok());
+  uint64_t rows = 0;
+  while (true) {
+    ASSERT_TRUE(limit.Next(&batch, &eos).ok());
+    if (eos) break;
+    rows += batch.num_rows();
+  }
+  limit.Close();
+  ctx.Finish();
+  EXPECT_EQ(rows, 250u);
+}
+
+}  // namespace
+}  // namespace ecodb::exec
