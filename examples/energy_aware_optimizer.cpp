@@ -19,9 +19,8 @@ int main() {
   ecodb::core::DbConfig config;
   config.preset = ecodb::core::PlatformPreset::kFlashScan;  // 90 W CPU
   config.ssd_count = 1;
-  // Dop candidates come from the platform's core count (a single ladder
-  // entry here: the FlashScan preset models one core).
-  config.derive_dop_ladder = true;
+  // Dop candidates come from the platform's core count by default (a single
+  // ladder entry here: the FlashScan preset models one core).
   config.ssd_spec.read_bw_bytes_per_s = 30e6;  // modest flash, scan-bound
   // Decode weight calibrated the way the Figure 2 bench is (see
   // EXPERIMENTS.md); makes the compressed scan clearly CPU-bound.

@@ -16,9 +16,9 @@ int main() {
   ecodb::core::DbConfig config;
   config.preset = ecodb::core::PlatformPreset::kProportional;
   config.ssd_count = 1;
-  // Let the planner enumerate the dop ladder derived from the platform's
-  // core count instead of hand-picking degrees of parallelism.
-  config.derive_dop_ladder = true;
+  // The planner enumerates the dop ladder derived from the platform's core
+  // count by default (set config.derive_dop_ladder = false to hand-pick
+  // degrees of parallelism via planner_options.dops).
 
   auto db_or = ecodb::core::EcoDb::Open(config);
   if (!db_or.ok()) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full local CI sweep: default build + tests, the sanitizer matrix
+# (tsan/asan/ubsan presets), the energy-accounting linter, and — when
+# clang-tidy is installed — a clang-tidy pass over src/.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+# 1. Default build + full test suite (includes the lint-labelled tests).
+run cmake --preset default
+run cmake --build --preset default -j "$jobs"
+run ctest --preset default -j "$jobs"
+
+# 2. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
+#    asan and ubsan run everything.
+for san in tsan asan ubsan; do
+  run cmake --preset "$san"
+  run cmake --build --preset "$san" -j "$jobs"
+  run ctest --preset "$san" -j "$jobs"
+done
+
+# 3. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
+#    but run it standalone so failures print the findings directly).
+run ./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt src
+
+# 4. clang-tidy, when available (the checks live in .clang-tidy).
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+  run clang-tidy -p build "${tidy_sources[@]}"
+else
+  echo "==> clang-tidy not installed; skipping (checks defined in .clang-tidy)"
+fi
+
+echo "All checks passed."

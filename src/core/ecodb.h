@@ -54,9 +54,9 @@ struct DbConfig {
   optimizer::CostModelParams cost_params;
   optimizer::PlannerOptions planner_options;
   /// Derive the planner's dop candidates from the platform's core count
-  /// (PlatformDopLadder) instead of planner_options.dops. Opt-in so
-  /// hand-tuned ladders keep working unchanged.
-  bool derive_dop_ladder = false;
+  /// (PlatformDopLadder) instead of planner_options.dops. On by default;
+  /// set to false to keep a hand-tuned planner_options.dops ladder.
+  bool derive_dop_ladder = true;
 };
 
 /// Result of one query: rows, measured resource stats, chosen plan.

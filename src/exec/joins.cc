@@ -100,6 +100,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
       right_key_name_(std::move(right_key)) {}
 
 Status HashJoinOp::Open(ExecContext* ctx) {
+  // ecodb-lint: coordinator-only
   ctx_ = ctx;
   ECODB_RETURN_IF_ERROR(left_->Open(ctx));
   ECODB_RETURN_IF_ERROR(right_->Open(ctx));
@@ -167,6 +168,7 @@ Status HashJoinOp::ProbeBatch(const RecordBatch& probe, RecordBatch* joined,
 }
 
 Status HashJoinOp::ParallelProbe() {
+  // ecodb-lint: coordinator-only
   const size_t n_morsels = probe_source_->morsel_count();
   probe_slots_.assign(n_morsels, RecordBatch{});
   std::vector<size_t> match_counts(n_morsels, 0);
@@ -174,6 +176,7 @@ Status HashJoinOp::ParallelProbe() {
   std::vector<WorkAccumulator> accs(static_cast<size_t>(pool->parallelism()));
   ECODB_RETURN_IF_ERROR(
       pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+        // ecodb-lint: worker-context
         RecordBatch probe;
         ECODB_RETURN_IF_ERROR(probe_source_->ProduceMorsel(
             m, &probe, &accs[static_cast<size_t>(slot)]));
@@ -198,6 +201,7 @@ Status HashJoinOp::ParallelProbe() {
 }
 
 Status HashJoinOp::Next(RecordBatch* out, bool* eos) {
+  // ecodb-lint: coordinator-only
   if (probe_source_ != nullptr) {
     if (!probed_) ECODB_RETURN_IF_ERROR(ParallelProbe());
     if (probe_cursor_ >= probe_slots_.size()) {
@@ -253,6 +257,7 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
 }
 
 Status NestedLoopJoinOp::Next(RecordBatch* out, bool* eos) {
+  // ecodb-lint: coordinator-only
   RecordBatch outer;
   ECODB_RETURN_IF_ERROR(left_->Next(&outer, eos));
   if (*eos) return Status::OK();
@@ -296,6 +301,7 @@ MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
       right_key_name_(std::move(right_key)) {}
 
 Status MergeJoinOp::Open(ExecContext* ctx) {
+  // ecodb-lint: coordinator-only
   ctx_ = ctx;
   ECODB_RETURN_IF_ERROR(left_->Open(ctx));
   ECODB_RETURN_IF_ERROR(right_->Open(ctx));

@@ -26,6 +26,7 @@ Status ParallelHashAggregateOp::Open(ExecContext* ctx) {
 }
 
 void ParallelHashAggregateOp::ChargeUpdate(uint64_t rows) {
+  // ecodb-lint: coordinator-only
   const double n = static_cast<double>(rows);
   ctx_->ChargeInstructions(ctx_->options().costs.agg_update_per_row * n);
   for (const AggregateItem& item : aggregates_) {
@@ -36,6 +37,7 @@ void ParallelHashAggregateOp::ChargeUpdate(uint64_t rows) {
 }
 
 Status ParallelHashAggregateOp::Compute() {
+  // ecodb-lint: coordinator-only
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr) {
     const size_t n_morsels = source->morsel_count();
@@ -46,6 +48,7 @@ Status ParallelHashAggregateOp::Compute() {
         static_cast<size_t>(pool->parallelism()));
     ECODB_RETURN_IF_ERROR(
         pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+          // ecodb-lint: worker-context
           RecordBatch batch;
           WorkAccumulator& acc = accs[static_cast<size_t>(slot)];
           ECODB_RETURN_IF_ERROR(source->ProduceMorsel(m, &batch, &acc));
@@ -59,8 +62,11 @@ Status ParallelHashAggregateOp::Compute() {
     ChargeUpdate(input_rows);
     // Merge partials in morsel index order: each key occurs at most once
     // per partial, so every group's accumulator sees its contributions in
-    // a fixed, dop-independent order.
+    // a fixed, dop-independent order — iterating the unordered partials
+    // below cannot perturb results or charges (groups_ is an ordered map).
+    // NOLINT-ECODB(EC5)
     for (std::unordered_map<std::string, GroupAccum>& partial : partials) {
+      // NOLINT-ECODB(EC5)
       for (auto& [key, gs] : partial) {
         auto [it, inserted] = groups_.try_emplace(key);
         if (inserted) {
@@ -99,6 +105,7 @@ Status ParallelHashAggregateOp::Compute() {
 }
 
 Status ParallelHashAggregateOp::Next(RecordBatch* out, bool* eos) {
+  // ecodb-lint: coordinator-only
   if (!computed_) ECODB_RETURN_IF_ERROR(Compute());
 
   if (cursor_ >= emit_order_.size()) {

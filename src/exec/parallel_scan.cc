@@ -33,6 +33,7 @@ ParallelTableScanOp::ParallelTableScanOp(const storage::TableStorage* table,
       exact_filter_(std::move(exact_filter)) {}
 
 Status ParallelTableScanOp::Open(ExecContext* ctx) {
+  // ecodb-lint: coordinator-only
   ctx_ = ctx;
 
   column_indexes_.clear();
@@ -86,6 +87,7 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
     WorkerPool* pool = ctx->worker_pool();
     ECODB_RETURN_IF_ERROR(pool->Run(
         to_decode.size(), [&](size_t t, int /*slot*/) -> Status {
+          // ecodb-lint: worker-context
           const size_t c = to_decode[t];
           ECODB_ASSIGN_OR_RETURN(owned_decodes_[c],
                                  table_->ReadColumn(column_indexes_[c]));
@@ -116,6 +118,7 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
 
 Status ParallelTableScanOp::ProduceMorsel(size_t index, RecordBatch* out,
                                           WorkAccumulator* acc) const {
+  // ecodb-lint: worker-context
   assert(index < morsels_.size());
   const ScanRowRange m = morsels_[index];
   const size_t take = m.end - m.begin;
@@ -152,12 +155,14 @@ Status ParallelTableScanOp::ProduceMorsel(size_t index, RecordBatch* out,
 }
 
 Status ParallelTableScanOp::Materialize() {
+  // ecodb-lint: coordinator-only
   WorkerPool* pool = ctx_->worker_pool();
   slots_.assign(morsels_.size(), RecordBatch{});
   std::vector<WorkAccumulator> accs(
       static_cast<size_t>(pool->parallelism()));
   ECODB_RETURN_IF_ERROR(
       pool->Run(morsels_.size(), [&](size_t m, int slot) -> Status {
+        // ecodb-lint: worker-context
         return ProduceMorsel(m, &slots_[m], &accs[static_cast<size_t>(slot)]);
       }));
   for (const WorkAccumulator& acc : accs) ctx_->MergeWork(acc);

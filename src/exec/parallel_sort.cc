@@ -47,6 +47,7 @@ RecordBatch ParallelSortOp::SortRun(RecordBatch batch) const {
 }
 
 Status ParallelSortOp::FormRuns() {
+  // ecodb-lint: coordinator-only
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr && source->morsel_count() > 0) {
     const size_t n_morsels = source->morsel_count();
@@ -56,6 +57,7 @@ Status ParallelSortOp::FormRuns() {
         static_cast<size_t>(pool->parallelism()));
     ECODB_RETURN_IF_ERROR(
         pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+          // ecodb-lint: worker-context
           RecordBatch batch;
           ECODB_RETURN_IF_ERROR(source->ProduceMorsel(
               m, &batch, &accs[static_cast<size_t>(slot)]));
@@ -88,6 +90,7 @@ Status ParallelSortOp::FormRuns() {
 }
 
 void ParallelSortOp::SettleRunCharges() {
+  // ecodb-lint: coordinator-only
   const CostConstants& c = ctx_->options().costs;
   const double n_keys = static_cast<double>(keys_.size());
   const uint64_t row_width =
@@ -110,14 +113,24 @@ void ParallelSortOp::SettleRunCharges() {
   // sequential stream billed on the device's timeline, in run order.
   if (total_bytes_ > memory_budget_bytes_ && spill_device_ != nullptr) {
     spilled_ = true;
+    // Runs whose byte offset lies below the spill_write_charged_ watermark
+    // were already billed by a previous Open of this query; a retried Open
+    // forms the same runs at the same offsets, so skipping them keeps the
+    // device billed exactly once per spilled byte.
+    uint64_t offset = 0;
     for (const RecordBatch& run : runs_) {
-      ctx_->ChargeWrite(spill_device_, run.num_rows() * row_width,
-                        /*sequential=*/true);
+      const uint64_t run_bytes = run.num_rows() * row_width;
+      if (offset >= spill_write_charged_) {
+        ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true);
+      }
+      offset += run_bytes;
     }
+    spill_write_charged_ = std::max(spill_write_charged_, offset);
   }
 }
 
 Status ParallelSortOp::MergeRuns() {
+  // ecodb-lint: coordinator-only
   partitions_.clear();
   num_partitions_ = 0;
   uint64_t total_rows = 0;
@@ -134,12 +147,14 @@ Status ParallelSortOp::MergeRuns() {
   const size_t n_runs = runs_.size();
 
   // The merge reads every spilled run back exactly once (per-run charge,
-  // run order).
-  if (spilled_) {
+  // run order); spill_read_charged_ keeps a retried Open from re-billing
+  // reads the merge already consumed.
+  if (spilled_ && !spill_read_charged_) {
     for (const RecordBatch& run : runs_) {
       ctx_->ChargeRead(spill_device_, run.num_rows() * row_width,
                        /*sequential=*/true);
     }
+    spill_read_charged_ = true;
   }
 
   if (n_runs == 1) {
@@ -208,6 +223,7 @@ Status ParallelSortOp::MergeRuns() {
   partitions_.assign(n_parts, RecordBatch{});
   WorkerPool* pool = ctx_->worker_pool();
   ECODB_RETURN_IF_ERROR(pool->Run(n_parts, [&](size_t p, int) -> Status {
+    // ecodb-lint: worker-context
     const auto after = [&](const Ref& x, const Ref& y) {
       const int cmp = CompareRows(runs_[x.run], x.pos, runs_[y.run], y.pos);
       if (cmp != 0) return cmp > 0;

@@ -96,6 +96,11 @@ class ParallelSortOp final : public Operator {
   size_t num_partitions_ = 0;
   uint64_t total_bytes_ = 0;
   bool spilled_ = false;
+  // Spill-billing watermarks (DESIGN.md §8): runs re-form identically when
+  // Open is retried after a mid-query error, so these survive the retry and
+  // keep spill I/O billed exactly once. Never reset in Open.
+  uint64_t spill_write_charged_ = 0;
+  bool spill_read_charged_ = false;
   size_t cursor_ = 0;
   ExecContext* ctx_ = nullptr;
 };

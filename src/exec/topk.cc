@@ -36,6 +36,7 @@ void TopKOp::CompactPool() {
 }
 
 Status TopKOp::Open(ExecContext* ctx) {
+  // ecodb-lint: coordinator-only
   ctx_ = ctx;
   ECODB_RETURN_IF_ERROR(child_->Open(ctx));
   const catalog::Schema& schema = child_->output_schema();
@@ -172,6 +173,7 @@ ParallelTopKOp::CandidateRun ParallelTopKOp::ReduceMorsel(
 }
 
 Status ParallelTopKOp::FormRuns() {
+  // ecodb-lint: coordinator-only
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr && source->morsel_count() > 0) {
     const size_t n_morsels = source->morsel_count();
@@ -181,6 +183,7 @@ Status ParallelTopKOp::FormRuns() {
         static_cast<size_t>(pool->parallelism()));
     ECODB_RETURN_IF_ERROR(
         pool->Run(n_morsels, [&](size_t m, int slot) -> Status {
+          // ecodb-lint: worker-context
           RecordBatch batch;
           ECODB_RETURN_IF_ERROR(source->ProduceMorsel(
               m, &batch, &accs[static_cast<size_t>(slot)]));
@@ -214,6 +217,7 @@ Status ParallelTopKOp::FormRuns() {
 }
 
 void ParallelTopKOp::SettleRunCharges() {
+  // ecodb-lint: coordinator-only
   const CostConstants& c = ctx_->options().costs;
   const double n_keys = static_cast<double>(keys_.size());
   const uint64_t row_width =
@@ -237,14 +241,24 @@ void ParallelTopKOp::SettleRunCharges() {
   // spills. Per-run sequential writes, billed in run order.
   if (kept_bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
     spilled_ = true;
+    // Runs whose byte offset lies below the spill_write_charged_ watermark
+    // were already billed by a previous Open of this query; a retried Open
+    // forms the same candidate runs at the same offsets, so skipping them
+    // keeps the device billed exactly once per spilled byte.
+    uint64_t offset = 0;
     for (const CandidateRun& run : runs_) {
-      ctx_->ChargeWrite(spill_device_, run.rows.num_rows() * row_width,
-                        /*sequential=*/true);
+      const uint64_t run_bytes = run.rows.num_rows() * row_width;
+      if (offset >= spill_write_charged_) {
+        ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true);
+      }
+      offset += run_bytes;
     }
+    spill_write_charged_ = std::max(spill_write_charged_, offset);
   }
 }
 
 void ParallelTopKOp::MergeRuns() {
+  // ecodb-lint: coordinator-only
   result_ = RecordBatch(child_->output_schema());
   const CostConstants& c = ctx_->options().costs;
   const uint64_t row_width =
@@ -253,12 +267,14 @@ void ParallelTopKOp::MergeRuns() {
   for (const CandidateRun& run : runs_) candidates += run.rows.num_rows();
 
   // The merge reads every spilled candidate byte back exactly once
-  // (per-run charge, run order).
-  if (spilled_) {
+  // (per-run charge, run order); spill_read_charged_ keeps a retried Open
+  // from re-billing reads the merge already consumed.
+  if (spilled_ && !spill_read_charged_) {
     for (const CandidateRun& run : runs_) {
       ctx_->ChargeRead(spill_device_, run.rows.num_rows() * row_width,
                        /*sequential=*/true);
     }
+    spill_read_charged_ = true;
   }
   if (runs_.empty() || k_ == 0) {
     runs_.clear();

@@ -160,6 +160,12 @@ class ParallelTopKOp final : public Operator {
   RecordBatch result_;
   size_t num_runs_ = 0;
   bool spilled_ = false;
+  // Spill-billing watermarks (DESIGN.md §8): candidate runs re-form
+  // identically when Open is retried after a mid-query error, so these
+  // survive the retry and keep spill I/O billed exactly once. Never reset
+  // in Open.
+  uint64_t spill_write_charged_ = 0;
+  bool spill_read_charged_ = false;
   size_t cursor_ = 0;
   ExecContext* ctx_ = nullptr;
 };

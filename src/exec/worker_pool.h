@@ -32,8 +32,12 @@ namespace ecodb::exec {
 /// Per-worker tally of the work a slot performed during one Run(). Counts
 /// are integers so merged totals are exact and independent of how morsels
 /// were distributed across workers (accounting must be dop-invariant).
+// ecodb-lint: worker-partial
 struct WorkAccumulator {
-  double instructions = 0.0;  // modeled CPU work (dyadic constants x counts)
+  // `instructions` is a double by exception: every contribution is a dyadic
+  // cost constant times an integer count, so sums are exact in binary
+  // floating point and merge grouping cannot perturb the total.
+  double instructions = 0.0;  // NOLINT-ECODB(EC3)
   uint64_t io_bytes = 0;
   uint64_t dram_bytes = 0;
   uint64_t rows_in = 0;   // rows consumed from the source

@@ -27,7 +27,9 @@ double BurstyPrefetcher::NextPage() {
     stats_.longest_idle_gap_s =
         std::max(stats_.longest_idle_gap_s, now - last_burst_end_);
   }
-  const storage::IoResult io = device_->SubmitRead(
+  // The prefetcher models device-level burst shaping outside any query's
+  // ExecContext, so it bills the device it manages directly.
+  const storage::IoResult io = device_->SubmitRead(  // NOLINT-ECODB(EC1)
       now, page_bytes_ * static_cast<uint64_t>(burst_pages_),
       /*sequential=*/true);
   last_burst_end_ = io.completion_time;

@@ -42,8 +42,11 @@ ScanTicket SharedScanManager::RequestScan(const storage::TableStorage& table,
   t.bytes = bytes;
   double completion = now;
   if (table.device() != nullptr && bytes > 0) {
+    // The shared-scan manager issues one device transfer on behalf of all
+    // attached readers; it runs outside any single query's ExecContext.
     completion =
-        table.device()->SubmitRead(now, bytes, /*sequential=*/true)
+        table.device()->SubmitRead(now, bytes,  // NOLINT-ECODB(EC1)
+                                   /*sequential=*/true)
             .completion_time;
   }
   t.completion_time = completion;

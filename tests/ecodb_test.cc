@@ -71,9 +71,8 @@ TEST(EcoDb, OpenWithHddArrayConfiguresTrays) {
 }
 
 TEST(EcoDb, DeriveDopLadderFollowsPlatformCores) {
-  DbConfig config = SsdConfig();
-  config.derive_dop_ladder = true;
-  auto db = EcoDb::Open(config);
+  // Deriving the ladder from the platform is the default.
+  auto db = EcoDb::Open(SsdConfig());
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->planner()->options().dops,
             optimizer::PlatformDopLadder(*(*db)->platform()));
@@ -81,16 +80,17 @@ TEST(EcoDb, DeriveDopLadderFollowsPlatformCores) {
   // Dl785 models 32 physical cores -> the full power-of-two ladder.
   DbConfig big = SsdConfig();
   big.preset = PlatformPreset::kDl785;
-  big.derive_dop_ladder = true;
   auto big_db = EcoDb::Open(big);
   ASSERT_TRUE(big_db.ok());
   EXPECT_EQ((*big_db)->planner()->options().dops,
             (std::vector<int>{1, 2, 4, 8, 16, 32}));
 
-  // Without the flag the planner keeps its default serial-only ladder.
-  auto plain = EcoDb::Open(SsdConfig());
-  ASSERT_TRUE(plain.ok());
-  EXPECT_EQ((*plain)->planner()->options().dops, (std::vector<int>{1}));
+  // Opting out keeps the hand-tuned (here: default serial-only) ladder.
+  DbConfig manual = SsdConfig();
+  manual.derive_dop_ladder = false;
+  auto manual_db = EcoDb::Open(manual);
+  ASSERT_TRUE(manual_db.ok());
+  EXPECT_EQ((*manual_db)->planner()->options().dops, (std::vector<int>{1}));
 }
 
 TEST(EcoDb, CreateLoadQueryRoundTrip) {

@@ -131,6 +131,66 @@ TEST_F(ExecContextTest, RowsPerJoulePositive) {
   EXPECT_GT(stats.RowsPerJoule(), 0.0);
 }
 
+TEST_F(ExecContextTest, ZeroByteIoChargesNothing) {
+  // A zero-byte transfer on a zero-latency device is a full no-op: no
+  // bytes, no service seconds, no elapsed time.
+  power::SsdSpec spec;
+  spec.read_bw_bytes_per_s = 100e6;
+  spec.write_bw_bytes_per_s = 100e6;
+  spec.read_latency_s = 0.0;
+  spec.write_latency_s = 0.0;
+  spec.active_watts = 5.0;
+  spec.idle_watts = 5.0;
+  storage::SsdDevice ssd("ssd0", spec, platform_->meter());
+  ExecContext ctx(platform_.get(), ExecOptions{});
+  ctx.ChargeRead(&ssd, 0, true);
+  ctx.ChargeWrite(&ssd, 0, false);
+  const QueryStats stats = ctx.Finish();
+  EXPECT_EQ(stats.io_bytes, 0u);
+  EXPECT_EQ(stats.io_seconds, 0.0);
+  EXPECT_EQ(stats.elapsed_seconds, 0.0);
+}
+
+TEST_F(ExecContextTest, ChargeDramBillsAccessEnergyPerByte) {
+  // With no CPU or I/O work the query spans zero time, so the dram channel
+  // carries exactly the per-byte access energy (no background draw).
+  auto platform = power::MakeDl785Platform();
+  const uint64_t bytes = 1024 * 1024;
+  ExecContext ctx(platform.get(), ExecOptions{});
+  ctx.ChargeDram(bytes);
+  const QueryStats stats = ctx.Finish();
+  const double dram_joules =
+      stats.energy.entries[platform->dram_channel().index].joules;
+  EXPECT_NEAR(dram_joules,
+              platform->dram().access_joules_per_byte *
+                  static_cast<double>(bytes),
+              1e-12);
+}
+
+TEST_F(ExecContextTest, MixedSerialAndParallelWorkFollowsAmdahl) {
+  // Interleaved serial and parallel charges settle to
+  // cpu_elapsed = serial + parallel / dop, independent of charge order.
+  auto platform = power::MakeDl785Platform();  // 32 cores
+  ExecOptions options;
+  options.dop = 4;
+  ExecContext ctx(platform.get(), options);
+  ctx.ChargeInstructions(3e9);
+  ctx.ChargeSerialInstructions(1e9);
+  ctx.ChargeDram(4096);
+  ctx.ChargeInstructions(5e9);
+  ctx.ChargeSerialInstructions(2e9);
+  const double parallel_seconds =
+      platform->cpu().SecondsForInstructions(3e9 + 5e9, 0);
+  const double serial_seconds =
+      platform->cpu().SecondsForInstructions(1e9 + 2e9, 0);
+  const QueryStats stats = ctx.Finish();
+  EXPECT_NEAR(stats.cpu_elapsed_seconds,
+              serial_seconds + parallel_seconds / 4.0, 1e-12);
+  EXPECT_NEAR(stats.cpu_serial_seconds, serial_seconds, 1e-12);
+  // Core-seconds (and so active CPU energy) never shrink with dop.
+  EXPECT_NEAR(stats.cpu_seconds, serial_seconds + parallel_seconds, 1e-12);
+}
+
 TEST_F(ExecContextTest, EnergyBreakdownNamesChannels) {
   ExecContext ctx(platform_.get(), ExecOptions{});
   ctx.ChargeRead(ssd_.get(), 100e6, true);

@@ -290,5 +290,49 @@ TEST_F(ParallelSortTest, SortOpChargesSpillExactlyOnceAcrossOpenRetry) {
   EXPECT_EQ(stats.io_bytes, 2u * 8000u);
 }
 
+TEST_F(ParallelSortTest, ParallelSortChargesSpillExactlyOnceAcrossOpenRetry) {
+  auto table = MakeLineitem(10000, 512);
+  const uint64_t row_width =
+      static_cast<uint64_t>(table->schema().RowWidthBytes());
+
+  // Scan-only I/O baseline: the in-memory sort adds no spill traffic.
+  ParallelSortOp in_memory(
+      std::make_unique<ParallelTableScanOp>(table.get()), Keys());
+  const RunOutcome base = Run(&in_memory, 4);
+
+  // A query retried end-to-end: the first Open completes — runs spilled,
+  // merged, billed — before a downstream failure forces a second Open of
+  // the same tree. The table is physically re-scanned (and re-billed), but
+  // the runs are already on the spill device, so spill I/O bills once.
+  ParallelSortOp sort(std::make_unique<ParallelTableScanOp>(table.get()),
+                      Keys(), /*memory_budget_bytes=*/16 * 1024, ssd_.get());
+  ExecOptions options;
+  options.dop = 4;
+  options.morsel_rows = 1024;
+  ExecContext ctx(platform_.get(), options);
+  ASSERT_TRUE(sort.Open(&ctx).ok());
+  EXPECT_TRUE(sort.spilled());
+  ASSERT_TRUE(sort.Open(&ctx).ok());  // the retry
+
+  RecordBatch batch;
+  bool eos = false;
+  std::vector<std::vector<Value>> rows;
+  while (true) {
+    ASSERT_TRUE(sort.Next(&batch, &eos).ok());
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < 4; ++c) row.push_back(batch.GetValue(r, c));
+      rows.push_back(std::move(row));
+    }
+  }
+  sort.Close();
+  EXPECT_EQ(rows, base.rows);
+
+  const QueryStats stats = ctx.Finish();
+  EXPECT_EQ(stats.io_bytes,
+            2 * base.stats.io_bytes + 2u * 10000u * row_width);
+}
+
 }  // namespace
 }  // namespace ecodb::exec

@@ -294,6 +294,52 @@ TEST_F(TopKTest, TopKChargesSpillExactlyOnceAcrossOpenRetry) {
   EXPECT_EQ(stats.io_bytes, 2u * 8000u);
 }
 
+TEST_F(TopKTest, ParallelTopKChargesSpillExactlyOnceAcrossOpenRetry) {
+  auto table = MakeTable(5000, 101);
+  const uint64_t row_width =
+      static_cast<uint64_t>(table->schema().RowWidthBytes());
+
+  // Scan-only I/O baseline: no budget, so no spill traffic.
+  ParallelTopKOp in_memory(std::make_unique<ParallelTableScanOp>(table.get()),
+                           KeyAsc(), 5000);
+  const RunOutcome base = Run(&in_memory, 4, 4096, 512);
+
+  // k = n keeps every candidate row, so the candidate set (5000 x 16 B)
+  // crosses the 4 KiB budget and spills. The first Open completes before a
+  // downstream failure forces a second Open of the same tree: the table is
+  // re-scanned (and re-billed), the candidate runs are not re-billed.
+  ParallelTopKOp topk(std::make_unique<ParallelTableScanOp>(table.get()),
+                      KeyAsc(), 5000, /*memory_budget_bytes=*/4096,
+                      ssd_.get());
+  ExecOptions options;
+  options.dop = 4;
+  options.batch_rows = 4096;
+  options.morsel_rows = 512;
+  ExecContext ctx(platform_.get(), options);
+  ASSERT_TRUE(topk.Open(&ctx).ok());
+  EXPECT_TRUE(topk.spilled());
+  ASSERT_TRUE(topk.Open(&ctx).ok());  // the retry
+
+  RecordBatch batch;
+  bool eos = false;
+  std::vector<std::vector<Value>> rows;
+  while (true) {
+    ASSERT_TRUE(topk.Next(&batch, &eos).ok());
+    if (eos) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < 2; ++c) row.push_back(batch.GetValue(r, c));
+      rows.push_back(std::move(row));
+    }
+  }
+  topk.Close();
+  EXPECT_EQ(rows, base.rows);
+
+  const QueryStats stats = ctx.Finish();
+  EXPECT_EQ(stats.io_bytes,
+            2 * base.stats.io_bytes + 2u * 5000u * row_width);
+}
+
 TEST_F(TopKTest, SmallKNeverSpillsUnderTightBudget) {
   // The whole point of the fusion: a k-row working set fits budgets the
   // full sort cannot. 10 rows x 16 B << 2 KiB.

@@ -1,0 +1,19 @@
+// Fixture for lint_test: seeded EC1 violations. Never compiled — the test
+// lints this file under the label src/exec/ec1_violation.cc.
+
+#include "power/platform.h"
+
+namespace ecodb::exec {
+
+void LeakEnergyAccounting(power::HardwarePlatform* platform,
+                          storage::StorageDevice* device) {
+  power::EnergyMeter* stray = platform->meter();  // EC1: meter escapes
+  (void)stray;
+  device->SubmitRead(0.0, 4096, true);         // EC1: direct device read
+  device->SubmitWrite(0.0, 4096, true);        // EC1: direct device write
+  platform->ChargeCpuCoresAt(1.0, 2.0, 4, 0);  // EC1: platform entry point
+  platform->ChargeDramAccess(64);              // EC1: platform entry point
+  platform->clock()->AdvanceTo(5.0);           // EC1: simulated clock
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,20 @@
+// Fixture for lint_test: seeded EC3 violations. Never compiled — the test
+// lints this file under the label src/exec/ec3_violation.cc.
+
+#include <cstdint>
+
+namespace ecodb::exec {
+
+// ecodb-lint: worker-partial
+struct BadPartial {
+  double joules = 0.0;    // EC3: floating-point worker tally
+  float fraction = 0.0f;  // EC3: floating-point worker tally
+  uint64_t rows = 0;      // integral: fine
+};
+
+// Not annotated as a worker partial, so EC3 does not apply.
+struct CoordinatorState {
+  double settled_joules = 0.0;
+};
+
+}  // namespace ecodb::exec

@@ -1,0 +1,24 @@
+// Fixture for lint_test: seeded EC4 violations. Never compiled — the test
+// lints this file under the label src/exec/ec4_violation.cc.
+
+#include "exec/exec_context.h"
+
+namespace ecodb::exec {
+
+Status OpenWithSpill(ExecContext* ctx, storage::StorageDevice* spill_device,
+                     uint64_t bytes, uint64_t budget,
+                     uint64_t spill_write_charged) {
+  if (bytes > budget) {
+    ctx->ChargeWrite(spill_device, bytes, true);  // EC4: no watermark guard
+  }
+  ctx->ChargeRead(spill_device, bytes, true);  // EC4: unguarded spill read
+
+  // The exactly-once shape the contract requires: charge only the bytes
+  // beyond the watermark, under a guard that names it.
+  if (bytes > spill_write_charged) {
+    ctx->ChargeWrite(spill_device, bytes - spill_write_charged, true);
+  }
+  return Status::OK();
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,20 @@
+// Fixture for lint_test: seeded EC5 violations. Never compiled — the test
+// lints this file under the label src/exec/ec5_violation.cc.
+
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace ecodb::exec {
+
+void EmitNondeterministically(RecordBatch* out) {
+  const int jitter = rand() % 3;  // EC5: rand()
+  std::random_device rd;          // EC5: hardware entropy
+  std::unordered_map<std::string, int> groups;
+  groups["a"] = 1;
+  for (const auto& [key, value] : groups) {  // EC5: unordered iteration
+    out->Append(key, value + jitter + static_cast<int>(rd()));
+  }
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,16 @@
+// Fixture for lint_test: every violation here carries a NOLINT-ECODB
+// suppression, so the file lints clean. Never compiled — the test lints
+// this file under the label src/sched/suppression.cc.
+
+namespace ecodb::sched {
+
+void MoveOutsideQueryContext(storage::StorageDevice* device) {
+  // The mover runs on the background scheduler, outside any query's
+  // ExecContext; it owns its device timeline directly.
+  // NOLINT-ECODB(EC1)
+  device->SubmitRead(0.0, 512, true);
+  device->SubmitWrite(0.0, 512, true);  // NOLINT-ECODB(EC1)
+  device->SubmitWrite(0.0, 512, true);  // NOLINT-ECODB
+}
+
+}  // namespace ecodb::sched

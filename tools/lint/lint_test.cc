@@ -1,0 +1,206 @@
+// Tests for ecodb-lint: each EC rule must catch its seeded-violation
+// fixture, annotated/suppressed code must lint clean, and the baseline and
+// render plumbing must round-trip.
+
+#include "lint.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ecodb::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(ECODB_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::map<std::string, int> CountByRule(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+  return counts;
+}
+
+std::set<int> LinesForRule(const std::vector<Finding>& findings,
+                           const std::string& rule) {
+  std::set<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) lines.insert(f.line);
+  }
+  return lines;
+}
+
+TEST(EcodbLint, Ec1FlagsEveryAccountingBypass) {
+  const auto findings =
+      LintSource("src/exec/ec1_violation.cc", ReadFixture("ec1_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC1"), 6) << RenderText(findings);
+  // meter/EnergyMeter, SubmitRead, SubmitWrite, ChargeCpuCoresAt,
+  // ChargeDramAccess, clock()->AdvanceTo — one finding per violating line.
+  EXPECT_EQ(LinesForRule(findings, "EC1"),
+            (std::set<int>{10, 12, 13, 14, 15, 16}));
+}
+
+TEST(EcodbLint, Ec1IsScopedToExecAndSched) {
+  // The identical content outside src/exec / src/sched is not EC1's business
+  // (the storage layer legitimately owns device submission).
+  const auto findings = LintSource("src/storage/ec1_violation.cc",
+                                   ReadFixture("ec1_violation.cc"));
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec2FlagsChargesInWorkerAndUnsettledRegions) {
+  const auto findings =
+      LintSource("src/exec/ec2_violation.cc", ReadFixture("ec2_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC2"), 2) << RenderText(findings);
+  // Line 12: ChargeInstructions on a worker. Line 17: ChargeDram outside a
+  // coordinator-only region in a file that has worker regions.
+  EXPECT_EQ(LinesForRule(findings, "EC2"), (std::set<int>{12, 17}));
+}
+
+TEST(EcodbLint, Ec3FlagsFloatMembersOnlyInWorkerPartials) {
+  const auto findings =
+      LintSource("src/exec/ec3_violation.cc", ReadFixture("ec3_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC3"), 2) << RenderText(findings);
+  // double + float in BadPartial; CoordinatorState's double is unannotated
+  // and untouched.
+  EXPECT_EQ(LinesForRule(findings, "EC3"), (std::set<int>{10, 11}));
+}
+
+TEST(EcodbLint, Ec4FlagsUnguardedSpillCharges) {
+  const auto findings =
+      LintSource("src/exec/ec4_violation.cc", ReadFixture("ec4_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC4"), 2) << RenderText(findings);
+  // The watermark-guarded ChargeWrite at the bottom of the fixture passes.
+  EXPECT_EQ(LinesForRule(findings, "EC4"), (std::set<int>{12, 14}));
+}
+
+TEST(EcodbLint, Ec4AcceptsBracelessGuardWithoutLeakingIt) {
+  const std::string src =
+      "void F(ExecContext* ctx) {\n"
+      "  if (bytes > spill_write_charged_)\n"
+      "    ctx->ChargeWrite(spill_device_, bytes, true);\n"
+      "  ctx->ChargeWrite(spill_device_, bytes, true);\n"
+      "}\n";
+  const auto findings = LintSource("src/exec/braceless.cc", src);
+  // The guarded statement is clean; the guard must not survive past its ';'
+  // to shield the second, unguarded charge.
+  EXPECT_EQ(LinesForRule(findings, "EC4"), (std::set<int>{4}))
+      << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec5FlagsEntropyAndUnorderedIteration) {
+  const auto findings =
+      LintSource("src/exec/ec5_violation.cc", ReadFixture("ec5_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC5"), 3) << RenderText(findings);
+  // rand(), std::random_device, range-for over the unordered_map.
+  EXPECT_EQ(LinesForRule(findings, "EC5"), (std::set<int>{11, 12, 15}));
+}
+
+TEST(EcodbLint, Ec5IsScopedToExec) {
+  const auto findings = LintSource("src/sched/ec5_violation.cc",
+                                   ReadFixture("ec5_violation.cc"));
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec5SeesMembersHarvestedFromSiblingHeader) {
+  const std::string header =
+      "class HashAggregateOp {\n"
+      "  std::unordered_map<std::string, int> partial_groups_;\n"
+      "};\n";
+  const std::string source =
+      "void HashAggregateOp::Emit(RecordBatch* out) {\n"
+      "  for (const auto& kv : partial_groups_) {\n"
+      "    out->Append(kv.first);\n"
+      "  }\n"
+      "}\n";
+  const std::set<std::string> names = HarvestUnorderedNames(header);
+  EXPECT_EQ(names, (std::set<std::string>{"partial_groups_"}));
+  const auto findings = LintSource("src/exec/agg.cc", source, names);
+  EXPECT_EQ(LinesForRule(findings, "EC5"), (std::set<int>{2}))
+      << RenderText(findings);
+  // Without the harvested names the member's type is invisible to the .cc.
+  EXPECT_TRUE(LintSource("src/exec/agg.cc", source).empty());
+}
+
+TEST(EcodbLint, CleanAnnotatedFixtureLintsClean) {
+  const auto findings = LintSource("src/exec/clean_annotated.cc",
+                                   ReadFixture("clean_annotated.cc"));
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, NolintSuppressesInlineStandaloneAndBare) {
+  const auto findings =
+      LintSource("src/sched/suppression.cc", ReadFixture("suppression.cc"));
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, NolintForADifferentRuleDoesNotSuppress) {
+  const std::string src =
+      "void F(storage::StorageDevice* d) {\n"
+      "  d->SubmitRead(0.0, 64, true);  // NOLINT-ECODB(EC5)\n"
+      "}\n";
+  const auto findings = LintSource("src/exec/wrong_rule.cc", src);
+  EXPECT_EQ(LinesForRule(findings, "EC1"), (std::set<int>{2}))
+      << RenderText(findings);
+}
+
+TEST(EcodbLint, BaselineRoundTripsAndFiltersFindings) {
+  const auto findings =
+      LintSource("src/exec/ec1_violation.cc", ReadFixture("ec1_violation.cc"));
+  ASSERT_FALSE(findings.empty());
+  const std::string rendered = RenderBaseline(findings);
+  const std::set<std::string> baseline = ParseBaseline(rendered);
+  EXPECT_EQ(baseline.size(), findings.size());
+  EXPECT_TRUE(ApplyBaseline(findings, baseline).empty());
+  // A partial baseline keeps the rest.
+  const std::set<std::string> one = {Fingerprint(findings.front())};
+  EXPECT_EQ(ApplyBaseline(findings, one).size(), findings.size() - 1);
+}
+
+TEST(EcodbLint, FingerprintsAreStableAcrossLineShifts) {
+  const std::string content = ReadFixture("ec1_violation.cc");
+  const auto before = LintSource("src/exec/ec1_violation.cc", content);
+  const auto after =
+      LintSource("src/exec/ec1_violation.cc", "\n\n\n" + content);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(Fingerprint(before[i]), Fingerprint(after[i]));
+    EXPECT_EQ(before[i].line + 3, after[i].line);
+  }
+}
+
+TEST(EcodbLint, RenderTextAndJsonCarryTheFindings) {
+  const auto findings =
+      LintSource("src/exec/ec4_violation.cc", ReadFixture("ec4_violation.cc"));
+  const std::string text = RenderText(findings);
+  EXPECT_NE(text.find("[EC4]"), std::string::npos);
+  EXPECT_NE(text.find("2 finding(s)"), std::string::npos);
+  const std::string json = RenderJson(findings);
+  EXPECT_NE(json.find("\"version\":\"ecodb-lint.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"EC4\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_EQ(RenderText({}).find("ecodb-lint: clean"), 0u);
+}
+
+}  // namespace
+}  // namespace ecodb::lint

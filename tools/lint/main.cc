@@ -1,0 +1,161 @@
+// ecodb-lint CLI: lints .h/.cc files (or directory trees) against the
+// energy-accounting contract rules EC1–EC5. See lint.h for the rule list
+// and annotation syntax.
+//
+//   ecodb-lint [--root DIR] [--format text|json] [--baseline FILE]
+//              [--write-baseline FILE] PATH...
+//
+// Paths are resolved against --root (default: cwd) and reported relative to
+// it, so baselines and NOLINT fingerprints are machine-independent. Exit
+// status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+int Usage() {
+  std::cerr << "usage: ecodb-lint [--root DIR] [--format text|json]\n"
+               "                  [--baseline FILE] [--write-baseline FILE]\n"
+               "                  PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!next(&root)) return Usage();
+    } else if (arg == "--format") {
+      if (!next(&format) || (format != "text" && format != "json")) {
+        return Usage();
+      }
+    } else if (arg == "--baseline") {
+      if (!next(&baseline_path)) return Usage();
+    } else if (arg == "--write-baseline") {
+      if (!next(&write_baseline_path)) return Usage();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ecodb-lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  const fs::path root_path(root);
+
+  // Expand inputs into a sorted file list: deterministic output order, the
+  // same discipline the linter demands of the engine.
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    const fs::path p = root_path / input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "ecodb-lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<ecodb::lint::Finding> findings;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "ecodb-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    // EC5 tracks unordered-container members declared in the sibling
+    // header, so iteration in the .cc is checked against them.
+    std::set<std::string> header_names;
+    if (file.extension() == ".cc") {
+      fs::path sibling = file;
+      sibling.replace_extension(".h");
+      std::string header;
+      if (ReadFile(sibling, &header)) {
+        header_names = ecodb::lint::HarvestUnorderedNames(header);
+      }
+    }
+    const std::string label =
+        fs::relative(file, root_path).lexically_normal().generic_string();
+    const auto file_findings =
+        ecodb::lint::LintSource(label, content, header_names);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(root_path / write_baseline_path);
+    if (!out) {
+      std::cerr << "ecodb-lint: cannot write baseline\n";
+      return 2;
+    }
+    out << ecodb::lint::RenderBaseline(findings);
+    std::cout << "ecodb-lint: wrote " << findings.size()
+              << " fingerprint(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string content;
+    if (!ReadFile(root_path / baseline_path, &content)) {
+      std::cerr << "ecodb-lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    findings = ecodb::lint::ApplyBaseline(
+        findings, ecodb::lint::ParseBaseline(content));
+  }
+
+  std::cout << (format == "json" ? ecodb::lint::RenderJson(findings)
+                                 : ecodb::lint::RenderText(findings));
+  return findings.empty() ? 0 : 1;
+}
