@@ -47,9 +47,9 @@ RunOutcome RunTrace(storage::ReplacementPolicy policy) {
     // the disk, odd ranks on the SSD, so hot sets straddle both devices.
     const uint64_t rank = rng.Zipf(kHddPages + kSsdPages, 0.7);
     if (rank % 2 == 0) {
-      pool.Access(storage::PageId{1, static_cast<uint32_t>(rank / 2)}, &hdd);
+      (void)pool.Access(storage::PageId{1, static_cast<uint32_t>(rank / 2)}, &hdd).value();
     } else {
-      pool.Access(storage::PageId{2, static_cast<uint32_t>(rank / 2)}, &ssd);
+      (void)pool.Access(storage::PageId{2, static_cast<uint32_t>(rank / 2)}, &ssd).value();
     }
   }
   clock.AdvanceTo(std::max(hdd.busy_until(), ssd.busy_until()));

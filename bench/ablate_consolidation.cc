@@ -53,7 +53,7 @@ RunOutcome RunTrace(double window_s) {
     events.ScheduleAt(t, [&scheduler, &hdd, &power_mgr, &clock] {
       scheduler.Submit([&hdd, &power_mgr, &clock] {
         const storage::IoResult r =
-            hdd.SubmitRead(clock.now(), kRequestBytes, false);
+            hdd.SubmitRead(clock.now(), kRequestBytes, false).value();
         power_mgr.NotifyAccessEnd(r.completion_time);
         return r.completion_time;
       });

@@ -46,11 +46,11 @@ RunOutcome RunStream(int group_size) {
     rec.page = {1, static_cast<uint32_t>(t / 32)};
     rec.after.assign(kPayloadBytes, static_cast<uint8_t>(t));
     wal.Append(std::move(rec));
-    const txn::CommitResult r = wal.Commit(t);
+    const txn::CommitResult r = wal.Commit(t).value();
     worst_latency = std::max(worst_latency, r.durable_time - clock.now());
     clock.AdvanceTo(std::max(clock.now(), device.busy_until()));
   }
-  wal.Flush();
+  (void)wal.Flush().value();
   clock.AdvanceTo(device.busy_until());
 
   RunOutcome out;

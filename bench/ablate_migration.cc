@@ -67,7 +67,7 @@ double MeasureMigrate(double horizon, const std::vector<storage::ColumnData>&
   storage::TableStorage table(1, PartitionSchema(),
                               storage::TableLayout::kColumn, &hdd);
   if (!table.Append(rows).ok()) std::exit(1);
-  sched::ConsolidationManager::Migrate(&table, &ssd, &clock);
+  (void)sched::ConsolidationManager::Migrate(&table, &ssd, &clock).value();
   clock.AdvanceTo(horizon);
   // Charge the source disk's energy (the device being consolidated away)
   // plus the *incremental* SSD energy of hosting the moved bytes — the SSD

@@ -113,8 +113,10 @@ int Main() {
       members.push_back(std::make_unique<storage::HddDevice>(
           "probe" + std::to_string(i), Scsi15k(1e12), platform->meter()));
     }
-    storage::DiskArray array("probe-array", Fig1ArraySpec(),
-                             std::move(members));
+    auto array_or = storage::DiskArray::Create("probe-array", Fig1ArraySpec(),
+                                               std::move(members));
+    if (!array_or.ok()) return 1;
+    storage::DiskArray& array = **array_or;
     storage::TableStorage orders(1, tpch::OrdersSchema(),
                                  storage::TableLayout::kColumn, &array);
     storage::TableStorage lineitem(2, tpch::LineitemSchema(),
@@ -158,7 +160,10 @@ int Main() {
       members.push_back(std::make_unique<storage::HddDevice>(
           "hdd" + std::to_string(i), Scsi15k(bw), platform->meter()));
     }
-    storage::DiskArray array("array", Fig1ArraySpec(), std::move(members));
+    auto array_or =
+        storage::DiskArray::Create("array", Fig1ArraySpec(), std::move(members));
+    if (!array_or.ok()) std::exit(1);
+    storage::DiskArray& array = **array_or;
     storage::TableStorage orders(1, tpch::OrdersSchema(),
                                  storage::TableLayout::kColumn, &array);
     storage::TableStorage lineitem(2, tpch::LineitemSchema(),

@@ -126,7 +126,10 @@ int Main() {
   array_spec.stripe_skew_alpha = 0.0;
   array_spec.per_request_overhead_s = 0.0;
   array_spec.controller_bw_bytes_per_s = 1e15;
-  storage::DiskArray array("flash-array", array_spec, std::move(members));
+  auto array_or =
+      storage::DiskArray::Create("flash-array", array_spec, std::move(members));
+  if (!array_or.ok()) return 1;
+  storage::DiskArray& array = **array_or;
 
   storage::TableStorage uncompressed(1, tpch::OrdersSchema(),
                                      storage::TableLayout::kColumn, &array);

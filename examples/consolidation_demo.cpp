@@ -62,7 +62,7 @@ Scenario Run(bool batch, bool migrate_first) {
                 "the horizon)\n",
                 decision.migrate ? "recommended" : "not recommended",
                 decision.migration_joules, decision.savings_joules);
-    ecodb::sched::ConsolidationManager::Migrate(&partition, &ssd, &clock);
+    (void)ecodb::sched::ConsolidationManager::Migrate(&partition, &ssd, &clock).value();
   }
 
   ecodb::sched::DiskPowerManager power_mgr(
@@ -81,7 +81,7 @@ Scenario Run(bool batch, bool migrate_first) {
       scheduler.Submit([&] {
         auto* device = partition.device();
         const ecodb::storage::IoResult r =
-            device->SubmitRead(clock.now(), kReadBytes, false);
+            device->SubmitRead(clock.now(), kReadBytes, false).value();
         power_mgr.NotifyAccessEnd(r.completion_time);
         return r.completion_time;
       });

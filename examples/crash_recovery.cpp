@@ -54,9 +54,9 @@ int main() {
   for (txn::TxnId t = 1; t <= 100; ++t) {
     Insert(&live, &wal, t, {1, static_cast<uint32_t>(t % 4)},
            "order-" + std::to_string(t));
-    wal.Commit(t);
+    (void)wal.Commit(t).value();
   }
-  wal.Flush();
+  (void)wal.Flush().value();
   auto cp_lsn = checkpointer.Take(live);
   std::printf("checkpoint at LSN %llu after 100 txns "
               "(%zu pages, %zu log bytes, %llu flushes so far)\n",
@@ -68,10 +68,10 @@ int main() {
   for (txn::TxnId t = 101; t <= 120; ++t) {
     Insert(&live, &wal, t, {1, static_cast<uint32_t>(t % 4)},
            "order-" + std::to_string(t));
-    wal.Commit(t);
+    (void)wal.Commit(t).value();
   }
   Insert(&live, &wal, 999, {1, 0}, "uncommitted-work");
-  wal.Flush();  // record is durable, its commit never happens
+  (void)wal.Flush().value();  // record is durable, its commit never happens
 
   // --- Crash: the machine dies; we additionally tear the last 3 bytes off
   // the log (a torn sector).

@@ -38,7 +38,10 @@ int main() {
     }
     storage::ArraySpec array_spec;
     array_spec.stripe_skew_alpha = 0.011;
-    storage::DiskArray array("array", array_spec, std::move(members));
+    auto array_or = storage::DiskArray::Create("array", array_spec,
+                                               std::move(members));
+    if (!array_or.ok()) std::abort();
+    storage::DiskArray& array = **array_or;
     storage::TableStorage orders(1, tpch::OrdersSchema(),
                                  storage::TableLayout::kColumn, &array);
     storage::TableStorage lineitem(2, tpch::LineitemSchema(),

@@ -27,11 +27,14 @@ run cmake --build --preset default -j "$jobs"
 run ctest --preset default -j "$jobs"
 
 # 2. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
-#    asan and ubsan run everything.
+#    asan and ubsan run everything. The fault-injection suite (`-L faults`)
+#    then re-runs explicitly under each sanitizer so retry/degraded-mode
+#    regressions are reported by name even when a full run is noisy.
 for san in tsan asan ubsan; do
   run cmake --preset "$san"
   run cmake --build --preset "$san" -j "$jobs"
   run ctest --preset "$san" -j "$jobs"
+  run ctest --test-dir "build-$san" -L faults --output-on-failure -j "$jobs"
 done
 
 # 3. Energy-accounting linter over src/ (also covered by `ctest -L lint`,

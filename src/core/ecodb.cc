@@ -23,17 +23,34 @@ StatusOr<std::unique_ptr<EcoDb>> EcoDb::Open(const DbConfig& config) {
   }
   power::EnergyMeter* meter = db->platform_->meter();
 
+  if (config.fault_plan.active()) {
+    db->fault_injector_ =
+        std::make_unique<storage::FaultInjector>(config.fault_plan);
+  }
+  // Wraps `device` in a FaultInjectedDevice when a fault plan is active;
+  // otherwise passes it through unchanged.
+  const auto with_faults = [&db, meter](
+                               std::unique_ptr<storage::StorageDevice> device)
+      -> std::unique_ptr<storage::StorageDevice> {
+    if (db->fault_injector_ == nullptr) return device;
+    return std::make_unique<storage::FaultInjectedDevice>(
+        std::move(device), db->fault_injector_.get(), meter);
+  };
+
   if (config.hdd_count > 0) {
     std::vector<std::unique_ptr<storage::StorageDevice>> members;
     members.reserve(config.hdd_count);
     for (int i = 0; i < config.hdd_count; ++i) {
-      members.push_back(std::make_unique<storage::HddDevice>(
-          "hdd" + std::to_string(i), config.hdd_spec, meter));
+      members.push_back(with_faults(std::make_unique<storage::HddDevice>(
+          "hdd" + std::to_string(i), config.hdd_spec, meter)));
     }
     storage::ArraySpec array_spec = config.array_spec;
     array_spec.level = config.raid_level;
-    auto array = std::make_unique<storage::DiskArray>("array0", array_spec,
-                                                      std::move(members));
+    ECODB_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::DiskArray> array,
+        storage::DiskArray::Create("array0", array_spec, std::move(members),
+                                   meter));
+    db->raid_array_ = array.get();
     db->primary_device_ = array.get();
     db->devices_.push_back(std::move(array));
     const int trays = (config.hdd_count +
@@ -42,8 +59,8 @@ StatusOr<std::unique_ptr<EcoDb>> EcoDb::Open(const DbConfig& config) {
     db->platform_->SetActiveTraysAt(0.0, trays);
   }
   for (int i = 0; i < config.ssd_count; ++i) {
-    auto ssd = std::make_unique<storage::SsdDevice>(
-        "ssd" + std::to_string(i), config.ssd_spec, meter);
+    auto ssd = with_faults(std::make_unique<storage::SsdDevice>(
+        "ssd" + std::to_string(i), config.ssd_spec, meter));
     if (db->primary_device_ == nullptr) db->primary_device_ = ssd.get();
     db->devices_.push_back(std::move(ssd));
   }

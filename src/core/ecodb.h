@@ -26,6 +26,7 @@
 #include "power/platform.h"
 #include "storage/btree.h"
 #include "storage/disk_array.h"
+#include "storage/fault_injector.h"
 #include "storage/ssd.h"
 #include "storage/table_storage.h"
 #include "util/status.h"
@@ -57,6 +58,11 @@ struct DbConfig {
   /// (PlatformDopLadder) instead of planner_options.dops. On by default;
   /// set to false to keep a hand-tuned planner_options.dops ladder.
   bool derive_dop_ladder = true;
+  /// Deterministic fault schedule. When active() every storage device is
+  /// wrapped in a FaultInjectedDevice that replays the plan; the same seed
+  /// and plan reproduce byte-identical rows and bit-identical charges at
+  /// any dop.
+  storage::FaultPlan fault_plan;
 };
 
 /// Result of one query: rows, measured resource stats, chosen plan.
@@ -123,6 +129,12 @@ class EcoDb {
   catalog::Catalog* catalog() { return &catalog_; }
   power::HardwarePlatform* platform() { return platform_.get(); }
   storage::StorageDevice* primary_device() { return primary_device_; }
+  /// The RAID array built from hdd_count, or nullptr when none was
+  /// configured. Degraded-mode experiments drive FailMember/rebuild here.
+  storage::DiskArray* raid_array() { return raid_array_; }
+  /// The fault injector replaying config.fault_plan, or nullptr when the
+  /// plan is inactive.
+  storage::FaultInjector* fault_injector() { return fault_injector_.get(); }
   optimizer::Planner* planner() { return planner_.get(); }
   optimizer::CostModel* cost_model() { return cost_model_.get(); }
 
@@ -138,6 +150,8 @@ class EcoDb {
   std::unique_ptr<power::HardwarePlatform> platform_;
   std::vector<std::unique_ptr<storage::StorageDevice>> devices_;
   storage::StorageDevice* primary_device_ = nullptr;
+  storage::DiskArray* raid_array_ = nullptr;
+  std::unique_ptr<storage::FaultInjector> fault_injector_;
   catalog::Catalog catalog_;
   std::map<std::string, std::unique_ptr<storage::TableStorage>> tables_;
   std::map<std::string, std::unique_ptr<storage::BTreeIndex>> indexes_;

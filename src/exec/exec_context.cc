@@ -31,22 +31,28 @@ void ExecContext::ChargeSerialInstructions(double instructions) {
   serial_cpu_instructions_ += instructions;
 }
 
-void ExecContext::ChargeRead(storage::StorageDevice* device, uint64_t bytes,
-                             bool sequential) {
-  const storage::IoResult r =
-      device->SubmitRead(start_time_, bytes, sequential);  // NOLINT-ECODB(EC1)
+Status ExecContext::ChargeRead(storage::StorageDevice* device, uint64_t bytes,
+                               bool sequential) {
+  ECODB_ASSIGN_OR_RETURN(
+      const storage::IoResult r,
+      device->SubmitRead(start_time_, bytes, sequential));  // NOLINT-ECODB(EC1)
   io_completion_ = std::max(io_completion_, r.completion_time);
   io_service_seconds_ += r.service_seconds;
   io_bytes_ += bytes;
+  faults_.Accumulate(r);
+  return Status::OK();
 }
 
-void ExecContext::ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
-                              bool sequential) {
-  const storage::IoResult r =
-      device->SubmitWrite(start_time_, bytes, sequential);  // NOLINT-ECODB(EC1)
+Status ExecContext::ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
+                                bool sequential) {
+  ECODB_ASSIGN_OR_RETURN(
+      const storage::IoResult r,
+      device->SubmitWrite(start_time_, bytes, sequential));  // NOLINT-ECODB(EC1)
   io_completion_ = std::max(io_completion_, r.completion_time);
   io_service_seconds_ += r.service_seconds;
   io_bytes_ += bytes;
+  faults_.Accumulate(r);
+  return Status::OK();
 }
 
 void ExecContext::ChargeDram(uint64_t bytes) {
@@ -113,6 +119,7 @@ QueryStats ExecContext::Finish() {
   stats.io_seconds = io_service_seconds_;
   stats.io_bytes = io_bytes_;
   stats.rows_emitted = rows_emitted_;
+  stats.faults = faults_;
   stats.energy = platform_->BreakdownBetween(
       start_snapshot_, platform_->meter()->Snapshot());  // NOLINT-ECODB(EC1)
   return stats;

@@ -54,6 +54,28 @@ struct ExecOptions {
   CostConstants costs;
 };
 
+/// Fault-path accounting surfaced per query: what the retries and degraded
+/// reconstruction cost on top of the healthy plan. Populated from the
+/// IoResult fields the device stack accumulates (coordinator-only, in
+/// deterministic submission order — bit-identical at any dop).
+struct FaultSummary {
+  uint32_t transient_errors = 0;
+  uint32_t degraded_reads = 0;
+  double retry_seconds = 0.0;
+  double retry_joules = 0.0;
+  double reconstruct_instructions = 0.0;
+  double reconstruct_joules = 0.0;
+
+  void Accumulate(const storage::IoResult& io) {
+    transient_errors += io.transient_errors;
+    degraded_reads += io.degraded_reads;
+    retry_seconds += io.retry_seconds;
+    retry_joules += io.retry_joules;
+    reconstruct_instructions += io.reconstruct_instructions;
+    reconstruct_joules += io.reconstruct_joules;
+  }
+};
+
 /// Measured resource use of one query.
 struct QueryStats {
   double start_time = 0.0;
@@ -70,6 +92,7 @@ struct QueryStats {
   uint64_t io_bytes = 0;
   uint64_t rows_emitted = 0;
   power::EnergyBreakdown energy;  // per-channel Joules over the query window
+  FaultSummary faults;            // retry/degraded-mode cost of this query
 
   double Joules() const { return energy.it_joules; }
   /// Energy efficiency in the paper's sense: rows of useful output per
@@ -100,12 +123,14 @@ class ExecContext {
 
   /// Submits a device read on behalf of the query; service time joins the
   /// query's I/O critical path. Devices overlap with CPU and each other.
-  void ChargeRead(storage::StorageDevice* device, uint64_t bytes,
-                  bool sequential);
+  /// Fault propagation: kUnavailable (retries exhausted) and kDataLoss
+  /// (dead device) bubble up; successful retries show in stats().faults.
+  Status ChargeRead(storage::StorageDevice* device, uint64_t bytes,
+                    bool sequential);
 
   /// Ditto for writes (spills, materialization).
-  void ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
-                   bool sequential);
+  Status ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
+                     bool sequential);
 
   /// Records DRAM traffic (hash tables, sort buffers).
   void ChargeDram(uint64_t bytes);
@@ -140,6 +165,7 @@ class ExecContext {
   double io_completion_ = 0.0;
   double io_service_seconds_ = 0.0;
   uint64_t io_bytes_ = 0;
+  FaultSummary faults_;
   uint64_t rows_emitted_ = 0;
   std::unique_ptr<WorkerPool> pool_;
   bool finished_ = false;

@@ -58,10 +58,12 @@ Status IndexScanOp::Open(ExecContext* ctx) {
 
   if (table_->device() != nullptr) {
     for (size_t i = 0; i < index_pages; ++i) {
-      ctx->ChargeRead(table_->device(), page, /*sequential=*/false);
+      ECODB_RETURN_IF_ERROR(
+          ctx->ChargeRead(table_->device(), page, /*sequential=*/false));
     }
     for (size_t i = 0; i < heap_pages_; ++i) {
-      ctx->ChargeRead(table_->device(), page, /*sequential=*/false);
+      ECODB_RETURN_IF_ERROR(
+          ctx->ChargeRead(table_->device(), page, /*sequential=*/false));
     }
   }
 

@@ -61,7 +61,8 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
   const uint64_t bytes =
       ScanTransferBytes(*table_, column_indexes_, pruning.selected_fraction);
   if (bytes > 0 && table_->device() != nullptr) {
-    ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true);
+    ECODB_RETURN_IF_ERROR(
+        ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true));
   }
   ctx->ChargeInstructions(
       ScanDecodeInstructions(*table_, column_indexes_,

@@ -89,7 +89,7 @@ Status ParallelSortOp::FormRuns() {
   return Status::OK();
 }
 
-void ParallelSortOp::SettleRunCharges() {
+Status ParallelSortOp::SettleRunCharges() {
   // ecodb-lint: coordinator-only
   const CostConstants& c = ctx_->options().costs;
   const double n_keys = static_cast<double>(keys_.size());
@@ -121,12 +121,14 @@ void ParallelSortOp::SettleRunCharges() {
     for (const RecordBatch& run : runs_) {
       const uint64_t run_bytes = run.num_rows() * row_width;
       if (offset >= spill_write_charged_) {
-        ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true);
+        ECODB_RETURN_IF_ERROR(
+            ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true));
       }
       offset += run_bytes;
     }
     spill_write_charged_ = std::max(spill_write_charged_, offset);
   }
+  return Status::OK();
 }
 
 Status ParallelSortOp::MergeRuns() {
@@ -151,8 +153,9 @@ Status ParallelSortOp::MergeRuns() {
   // reads the merge already consumed.
   if (spilled_ && !spill_read_charged_) {
     for (const RecordBatch& run : runs_) {
-      ctx_->ChargeRead(spill_device_, run.num_rows() * row_width,
-                       /*sequential=*/true);
+      ECODB_RETURN_IF_ERROR(
+          ctx_->ChargeRead(spill_device_, run.num_rows() * row_width,
+                           /*sequential=*/true));
     }
     spill_read_charged_ = true;
   }
@@ -262,7 +265,7 @@ Status ParallelSortOp::Open(ExecContext* ctx) {
   spilled_ = false;
   cursor_ = 0;
   ECODB_RETURN_IF_ERROR(FormRuns());
-  SettleRunCharges();
+  ECODB_RETURN_IF_ERROR(SettleRunCharges());
   ECODB_RETURN_IF_ERROR(MergeRuns());
   return Status::OK();
 }

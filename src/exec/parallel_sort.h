@@ -74,7 +74,7 @@ class ParallelSortOp final : public Operator {
   /// Forms runs_ (morsel-parallel or serial fallback).
   Status FormRuns();
   /// Settles DRAM + per-run spill charges (coordinator, run order).
-  void SettleRunCharges();
+  Status SettleRunCharges();
   /// Range-partitions runs_ by sampled splitters and merges partitions
   /// across the pool into partitions_.
   Status MergeRuns();

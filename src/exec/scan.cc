@@ -250,7 +250,8 @@ Status TableScanOp::Open(ExecContext* ctx) {
   const uint64_t bytes =
       ScanTransferBytes(*table_, column_indexes_, pruning.selected_fraction);
   if (bytes > 0 && table_->device() != nullptr) {
-    ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true);
+    ECODB_RETURN_IF_ERROR(
+        ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true));
   }
 
   // --- Real decode of compressed columns + per-value touch cost.

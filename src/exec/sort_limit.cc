@@ -88,8 +88,9 @@ Status SortOp::Open(ExecContext* ctx) {
     if (bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
       spilled_ = true;
       if (bytes > spill_write_charged_) {
-        ctx->ChargeWrite(spill_device_, bytes - spill_write_charged_,
-                         /*sequential=*/true);
+        ECODB_RETURN_IF_ERROR(
+            ctx->ChargeWrite(spill_device_, bytes - spill_write_charged_,
+                             /*sequential=*/true));
         spill_write_charged_ = bytes;
       }
     }
@@ -97,7 +98,8 @@ Status SortOp::Open(ExecContext* ctx) {
 
   // The merge pass reads every spilled byte back exactly once.
   if (spilled_ && !spill_read_charged_) {
-    ctx->ChargeRead(spill_device_, spill_write_charged_, /*sequential=*/true);
+    ECODB_RETURN_IF_ERROR(ctx->ChargeRead(spill_device_, spill_write_charged_,
+                                          /*sequential=*/true));
     spill_read_charged_ = true;
   }
   ctx->ChargeDram(std::min<uint64_t>(bytes, memory_budget_bytes_));

@@ -87,8 +87,9 @@ Status TopKOp::Open(ExecContext* ctx) {
     if (kept_bytes > memory_budget_bytes_ && spill_device_ != nullptr) {
       spilled_ = true;
       if (kept_bytes > spill_write_charged_) {
-        ctx->ChargeWrite(spill_device_, kept_bytes - spill_write_charged_,
-                         /*sequential=*/true);
+        ECODB_RETURN_IF_ERROR(
+            ctx->ChargeWrite(spill_device_, kept_bytes - spill_write_charged_,
+                             /*sequential=*/true));
         spill_write_charged_ = kept_bytes;
       }
     }
@@ -96,7 +97,8 @@ Status TopKOp::Open(ExecContext* ctx) {
 
   // The emission pass reads every spilled byte back exactly once.
   if (spilled_ && !spill_read_charged_) {
-    ctx->ChargeRead(spill_device_, spill_write_charged_, /*sequential=*/true);
+    ECODB_RETURN_IF_ERROR(ctx->ChargeRead(spill_device_, spill_write_charged_,
+                                          /*sequential=*/true));
     spill_read_charged_ = true;
   }
 
@@ -216,7 +218,7 @@ Status ParallelTopKOp::FormRuns() {
   return Status::OK();
 }
 
-void ParallelTopKOp::SettleRunCharges() {
+Status ParallelTopKOp::SettleRunCharges() {
   // ecodb-lint: coordinator-only
   const CostConstants& c = ctx_->options().costs;
   const double n_keys = static_cast<double>(keys_.size());
@@ -249,15 +251,17 @@ void ParallelTopKOp::SettleRunCharges() {
     for (const CandidateRun& run : runs_) {
       const uint64_t run_bytes = run.rows.num_rows() * row_width;
       if (offset >= spill_write_charged_) {
-        ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true);
+        ECODB_RETURN_IF_ERROR(
+            ctx_->ChargeWrite(spill_device_, run_bytes, /*sequential=*/true));
       }
       offset += run_bytes;
     }
     spill_write_charged_ = std::max(spill_write_charged_, offset);
   }
+  return Status::OK();
 }
 
-void ParallelTopKOp::MergeRuns() {
+Status ParallelTopKOp::MergeRuns() {
   // ecodb-lint: coordinator-only
   result_ = RecordBatch(child_->output_schema());
   const CostConstants& c = ctx_->options().costs;
@@ -271,14 +275,15 @@ void ParallelTopKOp::MergeRuns() {
   // from re-billing reads the merge already consumed.
   if (spilled_ && !spill_read_charged_) {
     for (const CandidateRun& run : runs_) {
-      ctx_->ChargeRead(spill_device_, run.rows.num_rows() * row_width,
-                       /*sequential=*/true);
+      ECODB_RETURN_IF_ERROR(
+          ctx_->ChargeRead(spill_device_, run.rows.num_rows() * row_width,
+                           /*sequential=*/true));
     }
     spill_read_charged_ = true;
   }
   if (runs_.empty() || k_ == 0) {
     runs_.clear();
-    return;
+    return Status::OK();
   }
 
   // Coordinator k-way merge of the sorted candidate runs; key ties break
@@ -316,6 +321,7 @@ void ParallelTopKOp::MergeRuns() {
         c.output_per_row * static_cast<double>(take));
   }
   runs_.clear();
+  return Status::OK();
 }
 
 Status ParallelTopKOp::Open(ExecContext* ctx) {
@@ -329,8 +335,8 @@ Status ParallelTopKOp::Open(ExecContext* ctx) {
   spilled_ = false;
   cursor_ = 0;
   ECODB_RETURN_IF_ERROR(FormRuns());
-  SettleRunCharges();
-  MergeRuns();
+  ECODB_RETURN_IF_ERROR(SettleRunCharges());
+  ECODB_RETURN_IF_ERROR(MergeRuns());
   return Status::OK();
 }
 

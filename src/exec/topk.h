@@ -144,10 +144,10 @@ class ParallelTopKOp final : public Operator {
   Status FormRuns();
   /// Settles formation instructions + DRAM + per-run spill writes
   /// (coordinator, run order).
-  void SettleRunCharges();
+  Status SettleRunCharges();
   /// Merges runs_ into result_, keeping the global first k; charges the
   /// merge serially and per-run spill reads in run order.
-  void MergeRuns();
+  Status MergeRuns();
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;

@@ -23,19 +23,23 @@ MigrationDecision ConsolidationManager::Evaluate(
   return d;
 }
 
-double ConsolidationManager::Migrate(storage::TableStorage* table,
-                                     storage::StorageDevice* target,
-                                     sim::SimClock* clock) {
+StatusOr<double> ConsolidationManager::Migrate(storage::TableStorage* table,
+                                               storage::StorageDevice* target,
+                                               sim::SimClock* clock) {
   const uint64_t bytes = table->TotalBytes();
   storage::StorageDevice* source = table->device();
   double done = clock->now();
   // Migration is a background maintenance action: it runs outside any
   // query's ExecContext and bills the devices it touches directly.
   if (source != nullptr && bytes > 0) {
-    const storage::IoResult rd = source->SubmitRead(  // NOLINT-ECODB(EC1)
-        clock->now(), bytes, /*sequential=*/true);
-    const storage::IoResult wr = target->SubmitWrite(  // NOLINT-ECODB(EC1)
-        rd.completion_time, bytes, /*sequential=*/true);
+    ECODB_ASSIGN_OR_RETURN(
+        const storage::IoResult rd,
+        source->SubmitRead(  // NOLINT-ECODB(EC1)
+            clock->now(), bytes, /*sequential=*/true));
+    ECODB_ASSIGN_OR_RETURN(
+        const storage::IoResult wr,
+        target->SubmitWrite(  // NOLINT-ECODB(EC1)
+            rd.completion_time, bytes, /*sequential=*/true));
     done = std::max(rd.completion_time, wr.completion_time);
   }
   table->Rebind(target);

@@ -16,6 +16,7 @@
 #include "sim/clock.h"
 #include "storage/device.h"
 #include "storage/table_storage.h"
+#include "util/status.h"
 
 namespace ecodb::sched {
 
@@ -39,10 +40,11 @@ class ConsolidationManager {
 
   /// Moves `table` to `target`: streams its footprint off the old device,
   /// writes it to the new one, rebinds the table, and powers the source
-  /// down. Returns the completion time.
-  static double Migrate(storage::TableStorage* table,
-                        storage::StorageDevice* target,
-                        sim::SimClock* clock);
+  /// down. Returns the completion time; device faults abort the migration
+  /// before the rebind (the table stays on its source).
+  static StatusOr<double> Migrate(storage::TableStorage* table,
+                                  storage::StorageDevice* target,
+                                  sim::SimClock* clock);
 };
 
 }  // namespace ecodb::sched

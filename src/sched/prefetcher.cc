@@ -15,7 +15,7 @@ BurstyPrefetcher::BurstyPrefetcher(sim::SimClock* clock,
   assert(burst_pages_ >= 1);
 }
 
-double BurstyPrefetcher::NextPage() {
+StatusOr<double> BurstyPrefetcher::NextPage() {
   ++stats_.pages_served;
   if (buffered_ > 0) {
     --buffered_;
@@ -29,9 +29,11 @@ double BurstyPrefetcher::NextPage() {
   }
   // The prefetcher models device-level burst shaping outside any query's
   // ExecContext, so it bills the device it manages directly.
-  const storage::IoResult io = device_->SubmitRead(  // NOLINT-ECODB(EC1)
-      now, page_bytes_ * static_cast<uint64_t>(burst_pages_),
-      /*sequential=*/true);
+  ECODB_ASSIGN_OR_RETURN(
+      const storage::IoResult io,
+      device_->SubmitRead(  // NOLINT-ECODB(EC1)
+          now, page_bytes_ * static_cast<uint64_t>(burst_pages_),
+          /*sequential=*/true));
   last_burst_end_ = io.completion_time;
   ++stats_.device_bursts;
   buffered_ = burst_pages_ - 1;

@@ -19,6 +19,7 @@
 
 #include "sim/clock.h"
 #include "storage/device.h"
+#include "util/status.h"
 
 namespace ecodb::sched {
 
@@ -39,7 +40,7 @@ class BurstyPrefetcher {
   /// Consumes the next page of the stream at the current simulated time.
   /// Returns when the page's data is available; on a buffer miss this is
   /// the completion of a `burst_pages`-page sequential device read.
-  double NextPage();
+  StatusOr<double> NextPage();
 
   /// Pages currently buffered ahead of the consumer.
   int buffered() const { return buffered_; }

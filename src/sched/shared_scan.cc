@@ -8,8 +8,8 @@ SharedScanManager::SharedScanManager(sim::SimClock* clock,
                                      double share_window_s)
     : clock_(clock), share_window_s_(share_window_s) {}
 
-ScanTicket SharedScanManager::RequestScan(const storage::TableStorage& table,
-                                          std::vector<int> column_indexes) {
+StatusOr<ScanTicket> SharedScanManager::RequestScan(
+    const storage::TableStorage& table, std::vector<int> column_indexes) {
   ++stats_.scans_requested;
   if (column_indexes.empty()) {
     for (int i = 0; i < table.schema().num_columns(); ++i) {
@@ -44,10 +44,11 @@ ScanTicket SharedScanManager::RequestScan(const storage::TableStorage& table,
   if (table.device() != nullptr && bytes > 0) {
     // The shared-scan manager issues one device transfer on behalf of all
     // attached readers; it runs outside any single query's ExecContext.
-    completion =
+    ECODB_ASSIGN_OR_RETURN(
+        const storage::IoResult io,
         table.device()->SubmitRead(now, bytes,  // NOLINT-ECODB(EC1)
-                                   /*sequential=*/true)
-            .completion_time;
+                                   /*sequential=*/true));
+    completion = io.completion_time;
   }
   t.completion_time = completion;
   last_transfer_[&table] = std::move(t);

@@ -17,6 +17,7 @@
 
 #include "sim/clock.h"
 #include "storage/table_storage.h"
+#include "util/status.h"
 
 namespace ecodb::sched {
 
@@ -51,8 +52,8 @@ class SharedScanManager {
 
   /// Requests a scan of `table` projecting `column_indexes` (empty = all).
   /// Charges the device only when no compatible transfer is reusable.
-  ScanTicket RequestScan(const storage::TableStorage& table,
-                         std::vector<int> column_indexes);
+  StatusOr<ScanTicket> RequestScan(const storage::TableStorage& table,
+                                   std::vector<int> column_indexes);
 
   const SharedScanStats& stats() const { return stats_; }
 

@@ -81,8 +81,8 @@ PageId BufferPool::PickVictim() {
   return frames_.begin()->first;
 }
 
-PageAccess BufferPool::Access(PageId page, StorageDevice* source,
-                              bool mark_dirty) {
+StatusOr<PageAccess> BufferPool::Access(PageId page, StorageDevice* source,
+                                        bool mark_dirty) {
   ++tick_;
   auto it = frames_.find(page);
   if (it != frames_.end()) {
@@ -103,8 +103,10 @@ PageAccess BufferPool::Access(PageId page, StorageDevice* source,
     auto vit = frames_.find(victim_id);
     assert(vit != frames_.end());
     if (vit->second.dirty && vit->second.source != nullptr) {
-      const IoResult wb = vit->second.source->SubmitWrite(
-          clock_->now(), config_.page_bytes, /*sequential=*/false);
+      ECODB_ASSIGN_OR_RETURN(
+          const IoResult wb,
+          vit->second.source->SubmitWrite(clock_->now(), config_.page_bytes,
+                                          /*sequential=*/false));
       ready = std::max(ready, wb.completion_time);
       ++stats_.dirty_writebacks;
     }
@@ -112,8 +114,9 @@ PageAccess BufferPool::Access(PageId page, StorageDevice* source,
     ++stats_.evictions;
   }
 
-  const IoResult rd =
-      source->SubmitRead(ready, config_.page_bytes, /*sequential=*/false);
+  ECODB_ASSIGN_OR_RETURN(
+      const IoResult rd,
+      source->SubmitRead(ready, config_.page_bytes, /*sequential=*/false));
   ready = rd.completion_time;
 
   Frame f;
@@ -137,13 +140,14 @@ PageAccess BufferPool::Access(PageId page, StorageDevice* source,
   return PageAccess{false, ready};
 }
 
-double BufferPool::FlushAll() {
+StatusOr<double> BufferPool::FlushAll() {
   double last = clock_->now();
   for (auto& [id, f] : frames_) {
     if (f.dirty && f.source != nullptr) {
-      const IoResult wb = f.source->SubmitWrite(clock_->now(),
-                                                config_.page_bytes,
-                                                /*sequential=*/false);
+      ECODB_ASSIGN_OR_RETURN(
+          const IoResult wb,
+          f.source->SubmitWrite(clock_->now(), config_.page_bytes,
+                                /*sequential=*/false));
       last = std::max(last, wb.completion_time);
       f.dirty = false;
       ++stats_.dirty_writebacks;

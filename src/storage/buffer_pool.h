@@ -79,12 +79,14 @@ class BufferPool {
   /// Accesses `page` stored on `source`. On a miss, submits a device read
   /// (evicting a victim if the pool is full; dirty victims are written back
   /// to their own device first). `mark_dirty` flags the page for write-back.
-  PageAccess Access(PageId page, StorageDevice* source,
-                    bool mark_dirty = false);
+  /// Device faults (kDataLoss / kUnavailable) propagate; a failed miss
+  /// leaves the pool unchanged apart from any victim already evicted.
+  StatusOr<PageAccess> Access(PageId page, StorageDevice* source,
+                              bool mark_dirty = false);
 
   /// Writes back every dirty page. Returns the completion time of the last
   /// write-back (clock time if none).
-  double FlushAll();
+  StatusOr<double> FlushAll();
 
   /// Drops a page from the pool without write-back (table drop / migration).
   void Invalidate(PageId page);

@@ -14,14 +14,39 @@
 #include <string>
 
 #include "power/energy_meter.h"
+#include "util/status.h"
 
 namespace ecodb::storage {
 
-/// Result of one submitted I/O.
+/// Result of one submitted I/O. Besides the timeline fields, an IoResult
+/// carries fault observability: how many transient errors were retried on
+/// the way to success, the simulated time and Joules those retries cost,
+/// and (for arrays in degraded mode) the XOR-reconstruction work performed.
+/// Layers that forward I/O (arrays, decorators, the buffer pool) accumulate
+/// these fields so ExecContext can surface them in QueryStats.
 struct IoResult {
   double start_time = 0.0;       // when the device began servicing
   double completion_time = 0.0;  // when the data was fully transferred
   double service_seconds = 0.0;  // completion - start
+
+  // --- Fault accounting (zero on the happy path) ---
+  uint32_t transient_errors = 0;       // retried-then-succeeded attempts
+  double retry_seconds = 0.0;          // simulated time spent on retries
+  double retry_joules = 0.0;           // energy charged for retried attempts
+  uint32_t degraded_reads = 0;         // requests served via reconstruction
+  double reconstruct_instructions = 0.0;  // XOR instructions (observability)
+  double reconstruct_joules = 0.0;     // energy charged for XOR work
+
+  /// Folds another result's fault counters into this one (timeline fields
+  /// are left to the caller, which knows the composition semantics).
+  void AccumulateFaults(const IoResult& other) {
+    transient_errors += other.transient_errors;
+    retry_seconds += other.retry_seconds;
+    retry_joules += other.retry_joules;
+    degraded_reads += other.degraded_reads;
+    reconstruct_instructions += other.reconstruct_instructions;
+    reconstruct_joules += other.reconstruct_joules;
+  }
 };
 
 /// Abstract simulated storage device.
@@ -32,12 +57,15 @@ class StorageDevice {
   /// Submits a read of `bytes`. The device starts no earlier than
   /// `earliest_start` and no earlier than its previous request's completion.
   /// `sequential` requests skip positioning costs after the first access.
-  virtual IoResult SubmitRead(double earliest_start, uint64_t bytes,
-                              bool sequential) = 0;
+  /// Errors: kUnavailable for a transient failure that exhausted its retry
+  /// budget; kDataLoss for a permanently failed device (or an array that
+  /// lost more members than its redundancy covers).
+  virtual StatusOr<IoResult> SubmitRead(double earliest_start, uint64_t bytes,
+                                        bool sequential) = 0;
 
-  /// Submits a write (same queueing semantics).
-  virtual IoResult SubmitWrite(double earliest_start, uint64_t bytes,
-                               bool sequential) = 0;
+  /// Submits a write (same queueing semantics and error contract).
+  virtual StatusOr<IoResult> SubmitWrite(double earliest_start, uint64_t bytes,
+                                         bool sequential) = 0;
 
   /// Completion time of the last accepted request.
   virtual double busy_until() const = 0;

@@ -6,10 +6,48 @@
 namespace ecodb::storage {
 
 DiskArray::DiskArray(std::string name, ArraySpec spec,
-                     std::vector<std::unique_ptr<StorageDevice>> members)
-    : name_(std::move(name)), spec_(spec), members_(std::move(members)) {
-  assert(!members_.empty());
-  assert(spec_.level != RaidLevel::kRaid5 || members_.size() >= 3);
+                     std::vector<std::unique_ptr<StorageDevice>> members,
+                     power::EnergyMeter* meter)
+    : name_(std::move(name)),
+      spec_(spec),
+      members_(std::move(members)),
+      failed_(members_.size(), false),
+      meter_(meter) {
+  if (meter_ != nullptr) {
+    xor_channel_ = meter_->RegisterChannel(name_ + ".xor", 0.0);
+  }
+}
+
+StatusOr<std::unique_ptr<DiskArray>> DiskArray::Create(
+    std::string name, ArraySpec spec,
+    std::vector<std::unique_ptr<StorageDevice>> members,
+    power::EnergyMeter* meter) {
+  if (members.empty()) {
+    return Status::InvalidArgument("disk array '" + name +
+                                   "' needs at least one member");
+  }
+  if (spec.level == RaidLevel::kRaid5 && members.size() < 3) {
+    return Status::InvalidArgument(
+        "RAID 5 array '" + name + "' needs >= 3 members, got " +
+        std::to_string(members.size()));
+  }
+  if (spec.stripe_unit_bytes == 0) {
+    return Status::InvalidArgument("stripe_unit_bytes must be > 0");
+  }
+  if (spec.controller_bw_bytes_per_s <= 0.0) {
+    return Status::InvalidArgument("controller_bw_bytes_per_s must be > 0");
+  }
+  if (spec.xor_instructions_per_byte < 0.0 ||
+      spec.xor_joules_per_instruction < 0.0) {
+    return Status::InvalidArgument("XOR cost parameters must be >= 0");
+  }
+  for (const auto& m : members) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("disk array member must not be null");
+    }
+  }
+  return std::unique_ptr<DiskArray>(
+      new DiskArray(std::move(name), spec, std::move(members), meter));
 }
 
 double DiskArray::DataFraction() const {
@@ -20,10 +58,74 @@ double DiskArray::DataFraction() const {
   return 1.0;
 }
 
-IoResult DiskArray::Submit(double earliest_start, uint64_t bytes,
-                           bool sequential, bool is_write) {
+int DiskArray::failed_member() const {
+  for (size_t i = 0; i < failed_.size(); ++i) {
+    if (failed_[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double DiskArray::ChargeXorAt(double t, uint64_t xored_bytes) {
+  const double instructions =
+      spec_.xor_instructions_per_byte * static_cast<double>(xored_bytes);
+  if (meter_ != nullptr && xor_channel_.valid()) {
+    meter_->AddEnergyAt(xor_channel_, t,
+                        instructions * spec_.xor_joules_per_instruction);
+  }
+  return instructions;
+}
+
+Status DiskArray::FailMember(int index, double t) {
+  if (index < 0 || index >= num_members()) {
+    return Status::InvalidArgument("member index out of range");
+  }
+  if (failed_[index]) return Status::OK();  // idempotent
+  failed_[index] = true;
+  ++failed_count_;
+  // A pulled drive draws nothing.
+  StorageDevice* m = members_[index].get();
+  if (meter_ != nullptr && m->channel().valid()) {
+    meter_->SetPowerAt(m->channel(), std::max(t, m->busy_until()), 0.0);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<StorageDevice>> DiskArray::ReplaceFailedMember(
+    int index, std::unique_ptr<StorageDevice> spare) {
+  if (index < 0 || index >= num_members()) {
+    return Status::InvalidArgument("member index out of range");
+  }
+  if (!failed_[index]) {
+    return Status::FailedPrecondition("member " + std::to_string(index) +
+                                      " has not failed");
+  }
+  if (spare == nullptr) {
+    return Status::InvalidArgument("spare must not be null");
+  }
+  std::unique_ptr<StorageDevice> old = std::move(members_[index]);
+  members_[index] = std::move(spare);
+  failed_[index] = false;
+  --failed_count_;
+  busy_until_ = std::max(busy_until_, members_[index]->busy_until());
+  return old;
+}
+
+StatusOr<IoResult> DiskArray::Submit(double earliest_start, uint64_t bytes,
+                                     bool sequential, bool is_write,
+                                     int depth) {
   const double start = std::max(earliest_start, busy_until_);
   const size_t n = members_.size();
+
+  if (failed_count_ > 0 && spec_.level == RaidLevel::kRaid0) {
+    return Status::DataLoss("RAID 0 array '" + name_ +
+                            "' lost a member; data is gone");
+  }
+  if (failed_count_ > 1) {
+    return Status::DataLoss("RAID 5 array '" + name_ +
+                            "' lost two members; data is gone");
+  }
+  const bool degraded_read =
+      failed_count_ == 1 && !is_write && spec_.level == RaidLevel::kRaid5;
 
   // Fair share per member, inflated by stripe skew (the array completes when
   // its slowest member does; with wider stripes the imbalance worsens).
@@ -34,15 +136,53 @@ IoResult DiskArray::Submit(double earliest_start, uint64_t bytes,
   }
   const double skew =
       1.0 + spec_.stripe_skew_alpha * static_cast<double>(n - 1);
-  const uint64_t member_bytes =
-      static_cast<uint64_t>(share * skew + 0.5);
+  // Degraded read: every survivor serves its own share plus its part of
+  // reconstructing the dead member's share — double the transfer volume.
+  const double per_member =
+      degraded_read ? 2.0 * share * skew : share * skew;
+  const uint64_t member_bytes = static_cast<uint64_t>(per_member + 0.5);
 
+  IoResult faults;
   double member_completion = start;
-  for (auto& m : members_) {
-    const IoResult r = is_write
-                           ? m->SubmitWrite(start, member_bytes, sequential)
-                           : m->SubmitRead(start, member_bytes, sequential);
-    member_completion = std::max(member_completion, r.completion_time);
+  for (size_t i = 0; i < n; ++i) {
+    if (failed_[i]) continue;
+    StorageDevice* m = members_[i].get();
+    auto r = is_write ? m->SubmitWrite(start, member_bytes, sequential)
+                      : m->SubmitRead(start, member_bytes, sequential);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kDataLoss) {
+        // The member died mid-request. Absorb the first loss on RAID 5 by
+        // re-running the whole request in degraded mode (the survivor work
+        // already booked stays booked — those transfers really happened).
+        if (!failed_[i]) {
+          failed_[i] = true;
+          ++failed_count_;
+        }
+        if (spec_.level == RaidLevel::kRaid5 && failed_count_ == 1 &&
+            depth == 0) {
+          ECODB_ASSIGN_OR_RETURN(
+              IoResult retried,
+              Submit(earliest_start, bytes, sequential, is_write, depth + 1));
+          retried.AccumulateFaults(faults);
+          return retried;
+        }
+      }
+      return r.status();
+    }
+    faults.AccumulateFaults(*r);
+    member_completion = std::max(member_completion, r->completion_time);
+  }
+
+  if (degraded_read) {
+    // Fold the (n-1) survivor blocks into the missing one: XOR input volume
+    // is the survivors' reconstruction reads, charged on the XOR channel.
+    const uint64_t xored_bytes = static_cast<uint64_t>(
+        static_cast<double>(n - 1) * share + 0.5);
+    const double instructions = ChargeXorAt(member_completion, xored_bytes);
+    faults.degraded_reads += 1;
+    faults.reconstruct_instructions += instructions;
+    faults.reconstruct_joules +=
+        instructions * spec_.xor_joules_per_instruction;
   }
 
   // The controller/SAS fabric moves the full request serially; the array is
@@ -52,17 +192,21 @@ IoResult DiskArray::Submit(double earliest_start, uint64_t bytes,
                                  spec_.controller_bw_bytes_per_s;
   const double end = std::max(member_completion, fabric_done);
   busy_until_ = end;
-  return IoResult{start, end, end - start};
+  IoResult out{start, end, end - start};
+  out.AccumulateFaults(faults);
+  return out;
 }
 
-IoResult DiskArray::SubmitRead(double earliest_start, uint64_t bytes,
-                               bool sequential) {
-  return Submit(earliest_start, bytes, sequential, /*is_write=*/false);
+StatusOr<IoResult> DiskArray::SubmitRead(double earliest_start, uint64_t bytes,
+                                         bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/false,
+                /*depth=*/0);
 }
 
-IoResult DiskArray::SubmitWrite(double earliest_start, uint64_t bytes,
-                                bool sequential) {
-  return Submit(earliest_start, bytes, sequential, /*is_write=*/true);
+StatusOr<IoResult> DiskArray::SubmitWrite(double earliest_start,
+                                          uint64_t bytes, bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/true,
+                /*depth=*/0);
 }
 
 double DiskArray::EstimateReadSeconds(uint64_t bytes) const {
@@ -95,26 +239,32 @@ double DiskArray::EstimateReadJoules(uint64_t bytes) const {
 }
 
 void DiskArray::PowerDown(double t) {
-  for (auto& m : members_) m->PowerDown(t);
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i]) members_[i]->PowerDown(t);
+  }
 }
 
 void DiskArray::PowerUp(double t) {
-  for (auto& m : members_) m->PowerUp(t);
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i]) members_[i]->PowerUp(t);
+  }
   for (auto& m : members_) {
     busy_until_ = std::max(busy_until_, m->busy_until());
   }
 }
 
 bool DiskArray::IsPoweredDown() const {
-  for (const auto& m : members_) {
-    if (!m->IsPoweredDown()) return false;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i] && !members_[i]->IsPoweredDown()) return false;
   }
   return true;
 }
 
 double DiskArray::StandbySavingsWatts() const {
   double total = 0.0;
-  for (const auto& m : members_) total += m->StandbySavingsWatts();
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (!failed_[i]) total += members_[i]->StandbySavingsWatts();
+  }
   return total;
 }
 
@@ -124,6 +274,68 @@ double DiskArray::BreakEvenIdleSeconds() const {
     worst = std::max(worst, m->BreakEvenIdleSeconds());
   }
   return worst;
+}
+
+StatusOr<RebuildReport> RebuildScheduler::Run(
+    std::unique_ptr<StorageDevice> spare, double start_time,
+    const RebuildConfig& config) {
+  if (!array_->degraded()) {
+    return Status::FailedPrecondition("array '" + array_->name() +
+                                      "' is healthy; nothing to rebuild");
+  }
+  if (spare == nullptr) {
+    return Status::InvalidArgument("rebuild needs a spare device");
+  }
+  if (config.total_bytes == 0 || config.chunk_bytes == 0) {
+    return Status::InvalidArgument("rebuild extent/chunk must be > 0");
+  }
+  const int dead = array_->failed_member();
+  const int n = array_->num_members();
+  const double xor_jpi = array_->spec().xor_joules_per_instruction;
+
+  RebuildReport report;
+  report.start_time = start_time;
+  report.end_time = start_time;
+  double t = start_time;
+  uint64_t done = 0;
+  while (done < config.total_bytes) {
+    const uint64_t chunk =
+        std::min<uint64_t>(config.chunk_bytes, config.total_bytes - done);
+    if (config.rate_bytes_per_s > 0.0) {
+      // Pace the *start* of each chunk so reconstructed bytes flow at no
+      // more than the configured rate, leaving survivor idle gaps for
+      // foreground queries.
+      t = std::max(t, start_time + static_cast<double>(done) /
+                                       config.rate_bytes_per_s);
+    }
+    // Read this chunk's extent from every survivor (sequential stream)...
+    double read_done = t;
+    for (int i = 0; i < n; ++i) {
+      if (i == dead || array_->member_failed(i)) continue;
+      ECODB_ASSIGN_OR_RETURN(
+          const IoResult r,
+          array_->member(i)->SubmitRead(t, chunk, /*sequential=*/true));
+      read_done = std::max(read_done, r.completion_time);
+    }
+    // ...fold them into the lost chunk...
+    const uint64_t xored = static_cast<uint64_t>(n - 1) * chunk;
+    const double instructions = array_->ChargeXorAt(read_done, xored);
+    report.xor_instructions += instructions;
+    report.xor_joules += instructions * xor_jpi;
+    // ...and stream it onto the spare.
+    ECODB_ASSIGN_OR_RETURN(
+        const IoResult w,
+        spare->SubmitWrite(read_done, chunk, /*sequential=*/true));
+    report.end_time = std::max(report.end_time, w.completion_time);
+    done += chunk;
+    ++report.chunks;
+    t = read_done;  // spare write overlaps the next chunk's survivor reads
+  }
+  report.bytes_rebuilt = done;
+  ECODB_ASSIGN_OR_RETURN(std::unique_ptr<StorageDevice> retired,
+                         array_->ReplaceFailedMember(dead, std::move(spare)));
+  (void)retired;  // the dead drive leaves the chassis
+  return report;
 }
 
 StatusOr<std::vector<uint8_t>> ComputeParity(

@@ -1,0 +1,187 @@
+#include "storage/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecodb::storage {
+
+namespace {
+
+// SplitMix64 finalizer: a high-quality stateless mixer. Used to turn
+// (seed, device-name hash, attempt index) into an i.i.d.-looking uniform
+// draw without any shared RNG state that could order-couple devices.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a, consistent with the WAL frame checksum elsewhere in the tree.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double UniformFromHash(uint64_t h) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const auto& spec : plan_.devices) {
+    assert(std::is_sorted(spec.transient_ios.begin(),
+                          spec.transient_ios.end()));
+    state_[spec.device].spec = &spec;
+  }
+}
+
+FaultInjector::DeviceState* FaultInjector::StateFor(
+    const std::string& device) {
+  auto it = state_.find(device);
+  return it == state_.end() ? nullptr : &it->second;
+}
+
+FaultInjector::Decision FaultInjector::NextIo(const std::string& device,
+                                              double now) {
+  DeviceState* st = StateFor(device);
+  if (st == nullptr) return Decision::kOk;  // device not in the plan
+  if (st->failed) return Decision::kPermanent;
+
+  const uint64_t index = st->attempts++;
+  const DeviceFaultSpec& spec = *st->spec;
+
+  if (now >= spec.fail_at_time || index >= spec.fail_after_ios) {
+    st->failed = true;
+    return Decision::kPermanent;
+  }
+  if (std::binary_search(spec.transient_ios.begin(), spec.transient_ios.end(),
+                         index)) {
+    return Decision::kTransient;
+  }
+  if (spec.transient_error_rate > 0.0) {
+    const uint64_t h =
+        Mix64(plan_.seed ^ Mix64(HashName(device)) ^ Mix64(index));
+    if (UniformFromHash(h) < spec.transient_error_rate) {
+      return Decision::kTransient;
+    }
+  }
+  return Decision::kOk;
+}
+
+bool FaultInjector::IsFailed(const std::string& device) const {
+  auto it = state_.find(device);
+  return it != state_.end() && it->second.failed;
+}
+
+void FaultInjector::MarkFailed(const std::string& device) {
+  state_[device].failed = true;
+}
+
+uint64_t FaultInjector::io_count(const std::string& device) const {
+  auto it = state_.find(device);
+  return it == state_.end() ? 0 : it->second.attempts;
+}
+
+FaultInjectedDevice::FaultInjectedDevice(std::unique_ptr<StorageDevice> inner,
+                                         FaultInjector* injector,
+                                         power::EnergyMeter* meter)
+    : inner_(std::move(inner)), injector_(injector), meter_(meter) {
+  assert(inner_ != nullptr);
+  assert(injector_ != nullptr);
+}
+
+void FaultInjectedDevice::PowerDown(double t) {
+  if (dead_) return;
+  inner_->PowerDown(t);
+}
+
+void FaultInjectedDevice::PowerUp(double t) {
+  if (dead_) return;
+  inner_->PowerUp(t);
+}
+
+void FaultInjectedDevice::Die(double t) {
+  dead_ = true;
+  injector_->MarkFailed(name());
+  // A dead drive draws nothing: drop the channel's background level to 0
+  // from the moment of death (no later than any work already booked).
+  if (meter_ != nullptr && channel().valid()) {
+    meter_->SetPowerAt(channel(), std::max(t, inner_->busy_until()), 0.0);
+  }
+}
+
+Status FaultInjectedDevice::ChargeRetryAttempt(double* t, uint64_t bytes,
+                                               bool sequential, bool is_write,
+                                               double* backoff_s,
+                                               IoResult* faults) {
+  // The failed attempt really occupies the device: submit it to the inner
+  // device so its service time lands on the timeline and its active energy
+  // lands on the meter, exactly like a successful transfer that arrived
+  // corrupt and had to be thrown away.
+  ECODB_ASSIGN_OR_RETURN(
+      const IoResult attempt,
+      is_write ? inner_->SubmitWrite(*t, bytes, sequential)
+               : inner_->SubmitRead(*t, bytes, sequential));
+  faults->transient_errors += 1;
+  faults->retry_seconds += attempt.service_seconds + *backoff_s;
+  faults->retry_joules += inner_->EstimateReadJoules(bytes);
+  *t = attempt.completion_time + *backoff_s;
+  *backoff_s *= injector_->retry().backoff_multiplier;
+  return Status::OK();
+}
+
+StatusOr<IoResult> FaultInjectedDevice::Submit(double earliest_start,
+                                               uint64_t bytes, bool sequential,
+                                               bool is_write) {
+  if (dead_) {
+    return Status::DataLoss("device '" + name() + "' has failed");
+  }
+  const RetryPolicy& policy = injector_->retry();
+  IoResult faults;  // accumulates retry accounting across attempts
+  double t = earliest_start;
+  double backoff_s = policy.initial_backoff_s;
+  for (int attempt = 0; attempt < std::max(policy.max_attempts, 1);
+       ++attempt) {
+    switch (injector_->NextIo(name(), std::max(t, inner_->busy_until()))) {
+      case FaultInjector::Decision::kPermanent:
+        Die(t);
+        return Status::DataLoss("device '" + name() + "' failed permanently");
+      case FaultInjector::Decision::kTransient:
+        ECODB_RETURN_IF_ERROR(ChargeRetryAttempt(&t, bytes, sequential,
+                                                 is_write, &backoff_s,
+                                                 &faults));
+        continue;
+      case FaultInjector::Decision::kOk: {
+        ECODB_ASSIGN_OR_RETURN(
+            IoResult ok, is_write ? inner_->SubmitWrite(t, bytes, sequential)
+                                  : inner_->SubmitRead(t, bytes, sequential));
+        ok.AccumulateFaults(faults);
+        return ok;
+      }
+    }
+  }
+  return Status::Unavailable("device '" + name() + "' exhausted " +
+                             std::to_string(policy.max_attempts) +
+                             " attempts");
+}
+
+StatusOr<IoResult> FaultInjectedDevice::SubmitRead(double earliest_start,
+                                                   uint64_t bytes,
+                                                   bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/false);
+}
+
+StatusOr<IoResult> FaultInjectedDevice::SubmitWrite(double earliest_start,
+                                                    uint64_t bytes,
+                                                    bool sequential) {
+  return Submit(earliest_start, bytes, sequential, /*is_write=*/true);
+}
+
+}  // namespace ecodb::storage

@@ -1,0 +1,204 @@
+// Deterministic fault injection for the simulated storage stack.
+//
+// The paper's Figure 1 machine runs 36-204 drives in RAID 5; at that scale
+// faults are the steady state, not the exception, and availability machinery
+// (retries, reconstruction, rebuild) has an energy price the engine must be
+// able to measure. This header provides:
+//
+//   - FaultPlan: a declarative, seeded schedule of faults (permanent device
+//     death at a simulated time or I/O count, transient per-request errors,
+//     a torn WAL flush). The plan lives in DbConfig, never in src/exec, so
+//     the DESIGN §7 determinism contract holds: same seed + same plan =>
+//     byte-identical rows and bit-identical charges at any dop.
+//   - FaultInjector: interprets the plan. Transient decisions are a pure
+//     hash of (seed, device name, per-device I/O index) — no shared RNG
+//     stream — so the decision for the k-th I/O on a device is independent
+//     of interleaving with other devices.
+//   - FaultInjectedDevice: a StorageDevice decorator that consults the
+//     injector per attempt, retries transient errors with bounded
+//     exponential backoff in *simulated* time (each failed attempt is
+//     really submitted to the inner device, so its energy lands on the
+//     meter), and converts permanent death into kDataLoss while zeroing the
+//     dead device's background draw.
+
+#ifndef ECODB_STORAGE_FAULT_INJECTOR_H_
+#define ECODB_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/energy_meter.h"
+#include "storage/device.h"
+#include "util/status.h"
+
+namespace ecodb::storage {
+
+inline constexpr double kFaultNever = std::numeric_limits<double>::infinity();
+inline constexpr uint64_t kFaultNoIoLimit =
+    std::numeric_limits<uint64_t>::max();
+
+/// When and how one named device misbehaves. `device` matches
+/// StorageDevice::name() of the wrapped device.
+struct DeviceFaultSpec {
+  std::string device;
+  /// Permanent failure once simulated time reaches this value.
+  double fail_at_time = kFaultNever;
+  /// Permanent failure once this many I/O attempts have been served.
+  uint64_t fail_after_ios = kFaultNoIoLimit;
+  /// Probability in [0,1) that any given attempt fails transiently,
+  /// decided by a stateless hash of (seed, device, attempt index).
+  double transient_error_rate = 0.0;
+  /// Explicit 0-based attempt indexes that fail transiently (in addition
+  /// to the rate). Must be sorted ascending.
+  std::vector<uint64_t> transient_ios;
+};
+
+/// Tear the WAL tail during one group-commit flush: only `keep_fraction`
+/// of the pending bytes become durable, optionally with the last kept
+/// byte bit-flipped (a misdirected/partial sector write).
+struct WalTearSpec {
+  uint64_t tear_at_flush = kFaultNoIoLimit;  // 0-based flush index
+  double keep_fraction = 0.5;
+  bool corrupt_kept_tail = false;
+};
+
+/// Bounded exponential backoff for transient errors, in simulated time.
+struct RetryPolicy {
+  int max_attempts = 4;  // total attempts, including the first
+  double initial_backoff_s = 0.002;
+  double backoff_multiplier = 2.0;
+};
+
+/// The full declarative fault schedule. Embedded in DbConfig.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<DeviceFaultSpec> devices;
+  WalTearSpec wal;
+  RetryPolicy retry;
+
+  bool active() const {
+    return !devices.empty() || wal.tear_at_flush != kFaultNoIoLimit;
+  }
+};
+
+/// Interprets a FaultPlan. One injector is shared by every
+/// FaultInjectedDevice of an EcoDb instance (and by the WAL for tears);
+/// it keeps a per-device monotonic attempt counter, which — because device
+/// submission is coordinator-only and deterministically ordered — replays
+/// identically at any dop.
+class FaultInjector {
+ public:
+  enum class Decision { kOk, kTransient, kPermanent };
+
+  explicit FaultInjector(FaultPlan plan);
+
+  // Per-device state holds pointers into plan_; not copyable.
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decides the fate of the next I/O attempt on `device` at simulated
+  /// time `now`, advancing the device's attempt counter. Permanent
+  /// decisions are sticky.
+  Decision NextIo(const std::string& device, double now);
+
+  bool IsFailed(const std::string& device) const;
+  void MarkFailed(const std::string& device);
+
+  /// True if the `flush_index`-th WAL flush (0-based) should be torn.
+  bool ShouldTearFlush(uint64_t flush_index) const {
+    return plan_.wal.tear_at_flush == flush_index;
+  }
+  const WalTearSpec& wal_tear() const { return plan_.wal; }
+  const RetryPolicy& retry() const { return plan_.retry; }
+
+  /// Attempts seen so far on `device` (observability for tests).
+  uint64_t io_count(const std::string& device) const;
+
+ private:
+  struct DeviceState {
+    const DeviceFaultSpec* spec = nullptr;
+    uint64_t attempts = 0;
+    bool failed = false;
+  };
+
+  DeviceState* StateFor(const std::string& device);
+
+  FaultPlan plan_;
+  std::map<std::string, DeviceState> state_;
+};
+
+/// StorageDevice decorator that injects the planned faults of its inner
+/// device and absorbs transient ones with energy-charged retries.
+///
+/// Error contract: kDataLoss once the device has died permanently (its
+/// background draw is zeroed on the meter at death — a dead drive draws
+/// nothing); kUnavailable when a request exhausted RetryPolicy::max_attempts.
+/// On success the returned IoResult carries the retry accounting
+/// (transient_errors / retry_seconds / retry_joules).
+class FaultInjectedDevice final : public StorageDevice {
+ public:
+  /// `injector` and `meter` must outlive the device; the decorator owns
+  /// `inner` and presents its name and meter channel.
+  FaultInjectedDevice(std::unique_ptr<StorageDevice> inner,
+                      FaultInjector* injector, power::EnergyMeter* meter);
+
+  StatusOr<IoResult> SubmitRead(double earliest_start, uint64_t bytes,
+                                bool sequential) override;
+  StatusOr<IoResult> SubmitWrite(double earliest_start, uint64_t bytes,
+                                 bool sequential) override;
+
+  double busy_until() const override { return inner_->busy_until(); }
+
+  // Power ops are ignored after death (there is nothing left to spin).
+  void PowerDown(double t) override;
+  void PowerUp(double t) override;
+  bool IsPoweredDown() const override { return inner_->IsPoweredDown(); }
+  double StandbySavingsWatts() const override {
+    return dead_ ? 0.0 : inner_->StandbySavingsWatts();
+  }
+  double BreakEvenIdleSeconds() const override {
+    return inner_->BreakEvenIdleSeconds();
+  }
+
+  const std::string& name() const override { return inner_->name(); }
+  power::ChannelId channel() const override { return inner_->channel(); }
+
+  double EstimateReadSeconds(uint64_t bytes) const override {
+    return inner_->EstimateReadSeconds(bytes);
+  }
+  double EstimateReadJoules(uint64_t bytes) const override {
+    return inner_->EstimateReadJoules(bytes);
+  }
+
+  StorageDevice* inner() { return inner_.get(); }
+  bool is_dead() const { return dead_; }
+
+ private:
+  StatusOr<IoResult> Submit(double earliest_start, uint64_t bytes,
+                            bool sequential, bool is_write);
+
+  /// Books one failed attempt: really submits it to the inner device (the
+  /// platters spun, the energy is on the meter), accumulates the retry
+  /// stats, and advances `*t` past the attempt plus the current backoff.
+  /// Named Charge* so ecodb-lint's EC6 rule can see that the retry loop
+  /// pays the meter before re-submitting.
+  Status ChargeRetryAttempt(double* t, uint64_t bytes, bool sequential,
+                            bool is_write, double* backoff_s,
+                            IoResult* faults);
+
+  /// Marks the device dead at time `t` and zeroes its background draw.
+  void Die(double t);
+
+  std::unique_ptr<StorageDevice> inner_;
+  FaultInjector* injector_;
+  power::EnergyMeter* meter_;
+  bool dead_ = false;
+};
+
+}  // namespace ecodb::storage
+
+#endif  // ECODB_STORAGE_FAULT_INJECTOR_H_

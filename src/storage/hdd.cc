@@ -74,14 +74,14 @@ double HddDevice::EstimateReadJoules(uint64_t bytes) const {
   return joules;
 }
 
-IoResult HddDevice::SubmitRead(double earliest_start, uint64_t bytes,
-                               bool sequential) {
+StatusOr<IoResult> HddDevice::SubmitRead(double earliest_start, uint64_t bytes,
+                                         bool sequential) {
   return Submit(earliest_start, bytes, sequential,
                 spec_.sustained_bw_bytes_per_s);
 }
 
-IoResult HddDevice::SubmitWrite(double earliest_start, uint64_t bytes,
-                                bool sequential) {
+StatusOr<IoResult> HddDevice::SubmitWrite(double earliest_start,
+                                          uint64_t bytes, bool sequential) {
   // Writes stream at ~90% of read bandwidth on drives of this class.
   return Submit(earliest_start, bytes, sequential,
                 spec_.sustained_bw_bytes_per_s * 0.9);

@@ -24,10 +24,10 @@ class HddDevice final : public StorageDevice {
   HddDevice(std::string name, const power::HddSpec& spec,
             power::EnergyMeter* meter);
 
-  IoResult SubmitRead(double earliest_start, uint64_t bytes,
-                      bool sequential) override;
-  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
-                       bool sequential) override;
+  StatusOr<IoResult> SubmitRead(double earliest_start, uint64_t bytes,
+                                bool sequential) override;
+  StatusOr<IoResult> SubmitWrite(double earliest_start, uint64_t bytes,
+                                 bool sequential) override;
 
   double busy_until() const override { return busy_until_; }
 

@@ -13,13 +13,14 @@ RemoteDevice::RemoteDevice(std::string name, const power::NicSpec& nic,
   busy_until_ = meter_->clock()->now();
 }
 
-IoResult RemoteDevice::Submit(double earliest_start, uint64_t bytes,
-                              bool sequential, bool is_write) {
+StatusOr<IoResult> RemoteDevice::Submit(double earliest_start, uint64_t bytes,
+                                        bool sequential, bool is_write) {
   const double start = std::max(earliest_start, busy_until_);
   // The remote end services the request...
-  const IoResult remote = is_write
-                              ? backing_->SubmitWrite(start, bytes, sequential)
-                              : backing_->SubmitRead(start, bytes, sequential);
+  ECODB_ASSIGN_OR_RETURN(
+      const IoResult remote,
+      is_write ? backing_->SubmitWrite(start, bytes, sequential)
+               : backing_->SubmitRead(start, bytes, sequential));
   // ...and the bytes stream through the NIC; pipelined, so the transfer
   // finishes when the slower stage does.
   const double nic_seconds = static_cast<double>(bytes) / nic_.bw_bytes_per_s;
@@ -29,16 +30,18 @@ IoResult RemoteDevice::Submit(double earliest_start, uint64_t bytes,
                       (nic_.active_watts - nic_.idle_watts) * nic_seconds,
                       nic_seconds);
   busy_until_ = end;
-  return IoResult{start, end, end - start};
+  IoResult result{start, end, end - start};
+  result.AccumulateFaults(remote);
+  return result;
 }
 
-IoResult RemoteDevice::SubmitRead(double earliest_start, uint64_t bytes,
-                                  bool sequential) {
+StatusOr<IoResult> RemoteDevice::SubmitRead(double earliest_start,
+                                            uint64_t bytes, bool sequential) {
   return Submit(earliest_start, bytes, sequential, /*is_write=*/false);
 }
 
-IoResult RemoteDevice::SubmitWrite(double earliest_start, uint64_t bytes,
-                                   bool sequential) {
+StatusOr<IoResult> RemoteDevice::SubmitWrite(double earliest_start,
+                                             uint64_t bytes, bool sequential) {
   return Submit(earliest_start, bytes, sequential, /*is_write=*/true);
 }
 

@@ -29,10 +29,10 @@ class RemoteDevice final : public StorageDevice {
   RemoteDevice(std::string name, const power::NicSpec& nic,
                power::EnergyMeter* meter, StorageDevice* backing);
 
-  IoResult SubmitRead(double earliest_start, uint64_t bytes,
-                      bool sequential) override;
-  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
-                       bool sequential) override;
+  StatusOr<IoResult> SubmitRead(double earliest_start, uint64_t bytes,
+                                bool sequential) override;
+  StatusOr<IoResult> SubmitWrite(double earliest_start, uint64_t bytes,
+                                 bool sequential) override;
 
   double busy_until() const override { return busy_until_; }
 
@@ -56,8 +56,8 @@ class RemoteDevice final : public StorageDevice {
   const power::NicSpec& nic() const { return nic_; }
 
  private:
-  IoResult Submit(double earliest_start, uint64_t bytes, bool sequential,
-                  bool is_write);
+  StatusOr<IoResult> Submit(double earliest_start, uint64_t bytes,
+                            bool sequential, bool is_write);
 
   std::string name_;
   power::NicSpec nic_;

@@ -25,14 +25,14 @@ IoResult SsdDevice::Submit(double earliest_start, uint64_t bytes, double bw,
   return IoResult{start, end, service};
 }
 
-IoResult SsdDevice::SubmitRead(double earliest_start, uint64_t bytes,
-                               bool /*sequential*/) {
+StatusOr<IoResult> SsdDevice::SubmitRead(double earliest_start, uint64_t bytes,
+                                         bool /*sequential*/) {
   return Submit(earliest_start, bytes, spec_.read_bw_bytes_per_s,
                 spec_.read_latency_s);
 }
 
-IoResult SsdDevice::SubmitWrite(double earliest_start, uint64_t bytes,
-                                bool /*sequential*/) {
+StatusOr<IoResult> SsdDevice::SubmitWrite(double earliest_start,
+                                          uint64_t bytes, bool /*sequential*/) {
   return Submit(earliest_start, bytes, spec_.write_bw_bytes_per_s,
                 spec_.write_latency_s);
 }

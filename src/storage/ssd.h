@@ -21,10 +21,10 @@ class SsdDevice final : public StorageDevice {
   SsdDevice(std::string name, const power::SsdSpec& spec,
             power::EnergyMeter* meter);
 
-  IoResult SubmitRead(double earliest_start, uint64_t bytes,
-                      bool sequential) override;
-  IoResult SubmitWrite(double earliest_start, uint64_t bytes,
-                       bool sequential) override;
+  StatusOr<IoResult> SubmitRead(double earliest_start, uint64_t bytes,
+                                bool sequential) override;
+  StatusOr<IoResult> SubmitWrite(double earliest_start, uint64_t bytes,
+                                 bool sequential) override;
 
   double busy_until() const override { return busy_until_; }
 

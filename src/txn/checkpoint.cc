@@ -70,11 +70,13 @@ StatusOr<Lsn> Checkpointer::Take(const PageStore& store) {
   LogRecord marker;
   marker.type = LogRecordType::kCheckpoint;
   const Lsn lsn = wal_->Append(std::move(marker));
-  const double flushed = wal_->Flush();
+  ECODB_ASSIGN_OR_RETURN(const double flushed, wal_->Flush());
 
   latest_ = Checkpoint::Capture(store, lsn);
-  const storage::IoResult io = device_->SubmitWrite(
-      flushed, latest_.image.size(), /*sequential=*/true);
+  ECODB_ASSIGN_OR_RETURN(
+      const storage::IoResult io,
+      device_->SubmitWrite(flushed, latest_.image.size(),
+                           /*sequential=*/true));
   clock_->AdvanceTo(io.completion_time);
   ++taken_;
   return lsn;

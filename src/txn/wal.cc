@@ -5,8 +5,10 @@
 namespace ecodb::txn {
 
 WalManager::WalManager(WalConfig config, sim::SimClock* clock,
-                       storage::StorageDevice* log_device)
-    : config_(config), clock_(clock), device_(log_device) {
+                       storage::StorageDevice* log_device,
+                       storage::FaultInjector* injector)
+    : config_(config), clock_(clock), device_(log_device),
+      injector_(injector) {
   assert(config_.group_commit_size >= 1);
 }
 
@@ -17,10 +19,40 @@ Lsn WalManager::Append(LogRecord record) {
   return record.lsn;
 }
 
-double WalManager::Flush() {
+StatusOr<double> WalManager::Flush() {
+  if (torn_) {
+    return Status::FailedPrecondition("wal tail is torn; recover first");
+  }
   if (pending_.empty()) return clock_->now();
-  const storage::IoResult io = device_->SubmitWrite(
-      clock_->now(), pending_.size(), /*sequential=*/true);
+  const uint64_t this_flush = flush_index_++;
+  if (injector_ != nullptr && injector_->ShouldTearFlush(this_flush)) {
+    // The flush dies partway: only a prefix of the group reaches the
+    // platter (possibly with its last sector mangled). Everything else in
+    // the group — and the log itself — is lost until recovery replays the
+    // durable prefix.
+    const storage::WalTearSpec& tear = injector_->wal_tear();
+    const size_t keep = static_cast<size_t>(
+        static_cast<double>(pending_.size()) * tear.keep_fraction);
+    auto write = device_->SubmitWrite(clock_->now(), keep,
+                                      /*sequential=*/true);
+    if (!write.ok()) return write.status();
+    durable_.insert(durable_.end(), pending_.begin(),
+                    pending_.begin() + static_cast<ptrdiff_t>(keep));
+    if (tear.corrupt_kept_tail && !durable_.empty() && keep > 0) {
+      durable_.back() ^= 0x40;  // a mangled final sector
+    }
+    stats_.bytes_flushed += keep;
+    ++stats_.flushes;
+    pending_.clear();
+    pending_commits_ = 0;
+    torn_ = true;
+    return Status::DataLoss("wal flush " + std::to_string(this_flush) +
+                            " torn mid-write");
+  }
+  ECODB_ASSIGN_OR_RETURN(
+      const storage::IoResult io,
+      device_->SubmitWrite(clock_->now(), pending_.size(),
+                           /*sequential=*/true));
   stats_.bytes_flushed += pending_.size();
   ++stats_.flushes;
   durable_.insert(durable_.end(), pending_.begin(), pending_.end());
@@ -29,7 +61,10 @@ double WalManager::Flush() {
   return io.completion_time;
 }
 
-CommitResult WalManager::Commit(TxnId txn) {
+StatusOr<CommitResult> WalManager::Commit(TxnId txn) {
+  if (torn_) {
+    return Status::FailedPrecondition("wal tail is torn; recover first");
+  }
   LogRecord rec;
   rec.txn_id = txn;
   rec.type = LogRecordType::kCommit;
@@ -40,7 +75,7 @@ CommitResult WalManager::Commit(TxnId txn) {
   }
   ++pending_commits_;
   if (pending_commits_ >= config_.group_commit_size) {
-    const double durable_time = Flush();
+    ECODB_ASSIGN_OR_RETURN(const double durable_time, Flush());
     return CommitResult{lsn, durable_time};
   }
   // Caller (scheduler) is responsible for driving FlushTimedOut(); until
@@ -51,12 +86,12 @@ CommitResult WalManager::Commit(TxnId txn) {
                           config_.group_commit_timeout_s};
 }
 
-bool WalManager::FlushTimedOut(double now) {
+StatusOr<bool> WalManager::FlushTimedOut(double now) {
   if (pending_commits_ == 0) return false;
   if (now - oldest_pending_commit_time_ < config_.group_commit_timeout_s) {
     return false;
   }
-  Flush();
+  ECODB_RETURN_IF_ERROR(Flush().status());
   return true;
 }
 

@@ -15,6 +15,7 @@
 
 #include "sim/clock.h"
 #include "storage/device.h"
+#include "storage/fault_injector.h"
 #include "txn/log_record.h"
 #include "util/status.h"
 
@@ -43,9 +44,15 @@ struct CommitResult {
 
 class WalManager {
  public:
-  /// `clock` and `log_device` must outlive the manager.
+  /// `clock` and `log_device` must outlive the manager. `injector`
+  /// (optional) supplies the fault plan's WAL tear: when the k-th flush is
+  /// scheduled to tear, only a prefix of the pending bytes becomes durable
+  /// (optionally with the last kept byte corrupted), the flush returns
+  /// kDataLoss, and the log refuses further writes — recovery over
+  /// durable_bytes() is the only way forward, exactly as after a crash.
   WalManager(WalConfig config, sim::SimClock* clock,
-             storage::StorageDevice* log_device);
+             storage::StorageDevice* log_device,
+             storage::FaultInjector* injector = nullptr);
 
   /// Assigns the next LSN and buffers the record. Does not flush.
   Lsn Append(LogRecord record);
@@ -54,14 +61,17 @@ class WalManager {
   /// flushes immediately once the pending group reaches group_commit_size;
   /// otherwise it waits for more commits or FlushTimedOut(). Returns the
   /// durable time for this commit (may require an internal flush now).
-  CommitResult Commit(TxnId txn);
+  StatusOr<CommitResult> Commit(TxnId txn);
 
   /// Flushes the pending group if the oldest waiter has exceeded the
   /// timeout at simulated time `now`. Returns true if a flush happened.
-  bool FlushTimedOut(double now);
+  StatusOr<bool> FlushTimedOut(double now);
 
   /// Forces a flush of everything buffered. Returns its completion time.
-  double Flush();
+  StatusOr<double> Flush();
+
+  /// True once a flush tore: the log is frozen pending recovery.
+  bool torn() const { return torn_; }
 
   /// Serialized log contents flushed so far (what survives a crash).
   const std::vector<uint8_t>& durable_bytes() const { return durable_; }
@@ -76,6 +86,9 @@ class WalManager {
   WalConfig config_;
   sim::SimClock* clock_;
   storage::StorageDevice* device_;
+  storage::FaultInjector* injector_ = nullptr;
+  uint64_t flush_index_ = 0;  // 0-based count of device flushes
+  bool torn_ = false;
   Lsn next_lsn_ = 1;
   std::vector<uint8_t> durable_;   // flushed prefix
   std::vector<uint8_t> pending_;   // buffered, not yet flushed

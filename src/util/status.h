@@ -26,13 +26,16 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kDataLoss,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result. Cheap to copy on the OK path (no allocation).
-class Status {
+/// [[nodiscard]]: an ignored Status silently swallows an I/O or fault error,
+/// so every producer must be checked (or explicitly voided at the call site).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -67,6 +70,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,7 +93,7 @@ class Status {
 /// Either a value of type `T` or an error `Status`. Dereferencing a non-OK
 /// StatusOr is a programming error (asserts in debug builds).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse: `return value;` / `return Status::NotFound(...)`.

@@ -36,8 +36,8 @@ class BufferPoolTest : public ::testing::Test {
 TEST_F(BufferPoolTest, MissThenHit) {
   BufferPool pool = MakePool(4, ReplacementPolicy::kLru);
   const PageId p{1, 0};
-  EXPECT_FALSE(pool.Access(p, &ssd_).hit);
-  EXPECT_TRUE(pool.Access(p, &ssd_).hit);
+  EXPECT_FALSE(pool.Access(p, &ssd_).value().hit);
+  EXPECT_TRUE(pool.Access(p, &ssd_).value().hit);
   EXPECT_EQ(pool.stats().hits, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
   EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 0.5);
@@ -45,25 +45,25 @@ TEST_F(BufferPoolTest, MissThenHit) {
 
 TEST_F(BufferPoolTest, MissChargesDeviceTime) {
   BufferPool pool = MakePool(4, ReplacementPolicy::kLru);
-  const PageAccess a = pool.Access(PageId{1, 0}, &ssd_);
+  const PageAccess a = pool.Access(PageId{1, 0}, &ssd_).value();
   EXPECT_GT(a.ready_time, clock_.now());
 }
 
 TEST_F(BufferPoolTest, EvictionAtCapacity) {
   BufferPool pool = MakePool(2, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 1}, &ssd_);
-  pool.Access(PageId{1, 2}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 2}, &ssd_).ok());
   EXPECT_EQ(pool.resident_pages(), 2u);
   EXPECT_EQ(pool.stats().evictions, 1u);
 }
 
 TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
   BufferPool pool = MakePool(2, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 1}, &ssd_);
-  pool.Access(PageId{1, 0}, &ssd_);  // touch page 0
-  pool.Access(PageId{1, 2}, &ssd_);  // evicts page 1
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());  // touch page 0
+  ASSERT_TRUE(pool.Access(PageId{1, 2}, &ssd_).ok());  // evicts page 1
   EXPECT_TRUE(pool.IsResident(PageId{1, 0}));
   EXPECT_FALSE(pool.IsResident(PageId{1, 1}));
   EXPECT_TRUE(pool.IsResident(PageId{1, 2}));
@@ -71,12 +71,12 @@ TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
 
 TEST_F(BufferPoolTest, ClockGivesSecondChance) {
   BufferPool pool = MakePool(3, ReplacementPolicy::kClock);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 1}, &ssd_);
-  pool.Access(PageId{1, 2}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 2}, &ssd_).ok());
   // All referenced; a fourth access must still find a victim and keep
   // exactly three pages resident.
-  pool.Access(PageId{1, 3}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 3}, &ssd_).ok());
   EXPECT_EQ(pool.resident_pages(), 3u);
   EXPECT_TRUE(pool.IsResident(PageId{1, 3}));
 }
@@ -85,9 +85,9 @@ TEST_F(BufferPoolTest, EnergyAwareEvictsCheapReloadFirst) {
   BufferPool pool = MakePool(2, ReplacementPolicy::kEnergyAware);
   const PageId hdd_page{1, 0};
   const PageId ssd_page{2, 0};
-  pool.Access(hdd_page, &hdd_);  // expensive to reload
-  pool.Access(ssd_page, &ssd_);  // cheap to reload, and more recent
-  pool.Access(PageId{3, 0}, &ssd_);
+  ASSERT_TRUE(pool.Access(hdd_page, &hdd_).ok());  // expensive to reload
+  ASSERT_TRUE(pool.Access(ssd_page, &ssd_).ok());  // cheap to reload, and more recent
+  ASSERT_TRUE(pool.Access(PageId{3, 0}, &ssd_).ok());
   // LRU would evict hdd_page (older); energy-aware keeps it because its
   // reload energy dominates the recency difference.
   EXPECT_TRUE(pool.IsResident(hdd_page));
@@ -98,54 +98,54 @@ TEST_F(BufferPoolTest, LruWouldEvictTheExpensivePage) {
   // Control for the test above: same access pattern under LRU evicts the
   // HDD page, which is what the energy-aware policy avoids.
   BufferPool pool = MakePool(2, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &hdd_);
-  pool.Access(PageId{2, 0}, &ssd_);
-  pool.Access(PageId{3, 0}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &hdd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{2, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{3, 0}, &ssd_).ok());
   EXPECT_FALSE(pool.IsResident(PageId{1, 0}));
 }
 
 TEST_F(BufferPoolTest, DirtyVictimWritesBack) {
   BufferPool pool = MakePool(1, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_, /*mark_dirty=*/true);
-  pool.Access(PageId{1, 1}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_, /*mark_dirty=*/true).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
   EXPECT_EQ(pool.stats().dirty_writebacks, 1u);
 }
 
 TEST_F(BufferPoolTest, CleanVictimSkipsWriteBack) {
   BufferPool pool = MakePool(1, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 1}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
   EXPECT_EQ(pool.stats().dirty_writebacks, 0u);
 }
 
 TEST_F(BufferPoolTest, HitMarksDirty) {
   BufferPool pool = MakePool(2, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 0}, &ssd_, /*mark_dirty=*/true);
-  pool.Access(PageId{1, 1}, &ssd_);
-  pool.Access(PageId{1, 2}, &ssd_);  // evicts page 0, which is dirty
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_, /*mark_dirty=*/true).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 2}, &ssd_).ok());  // evicts page 0, which is dirty
   EXPECT_EQ(pool.stats().dirty_writebacks, 1u);
 }
 
 TEST_F(BufferPoolTest, FlushAllWritesEveryDirtyPage) {
   BufferPool pool = MakePool(8, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_, true);
-  pool.Access(PageId{1, 1}, &ssd_, true);
-  pool.Access(PageId{1, 2}, &ssd_, false);
-  const double done = pool.FlushAll();
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_, true).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 1}, &ssd_, true).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 2}, &ssd_, false).ok());
+  const double done = pool.FlushAll().value();
   EXPECT_EQ(pool.stats().dirty_writebacks, 2u);
   EXPECT_GT(done, 0.0);
   // Second flush is a no-op.
-  pool.FlushAll();
+  ASSERT_TRUE(pool.FlushAll().ok());
   EXPECT_EQ(pool.stats().dirty_writebacks, 2u);
 }
 
 TEST_F(BufferPoolTest, InvalidateDropsWithoutWriteback) {
   BufferPool pool = MakePool(4, ReplacementPolicy::kLru);
-  pool.Access(PageId{1, 0}, &ssd_, true);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_, true).ok());
   pool.Invalidate(PageId{1, 0});
   EXPECT_FALSE(pool.IsResident(PageId{1, 0}));
-  pool.FlushAll();
+  ASSERT_TRUE(pool.FlushAll().ok());
   EXPECT_EQ(pool.stats().dirty_writebacks, 0u);
 }
 
@@ -155,9 +155,9 @@ TEST_F(BufferPoolTest, DramHitAccountingCharges) {
   config.dram_joules_per_hit = 0.001;
   const power::ChannelId dram = meter_.RegisterChannel("dram", 0.0);
   BufferPool pool(config, &clock_, &meter_, dram);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 0}, &ssd_);
-  pool.Access(PageId{1, 0}, &ssd_);
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
+  ASSERT_TRUE(pool.Access(PageId{1, 0}, &ssd_).ok());
   EXPECT_NEAR(meter_.ChannelJoules(dram), 0.002, 1e-12);
 }
 
@@ -166,14 +166,14 @@ TEST_F(BufferPoolTest, HigherHitRateUsesLessDeviceEnergy) {
   // through a tiny pool — the energy face of caching.
   const power::MeterSnapshot s0 = meter_.Snapshot();
   BufferPool big = MakePool(128, ReplacementPolicy::kLru);
-  for (int i = 0; i < 100; ++i) big.Access(PageId{1, 0}, &hdd_);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(big.Access(PageId{1, 0}, &hdd_).ok());
   const double big_joules =
       power::EnergyMeter::Delta(s0, meter_.Snapshot()).joules[hdd_.channel()
                                                                   .index];
   const power::MeterSnapshot s1 = meter_.Snapshot();
   BufferPool tiny = MakePool(1, ReplacementPolicy::kLru);
   for (int i = 0; i < 100; ++i) {
-    tiny.Access(PageId{2, static_cast<uint32_t>(i % 2)}, &hdd_);
+    ASSERT_TRUE(tiny.Access(PageId{2, static_cast<uint32_t>(i % 2)}, &hdd_).ok());
   }
   const double tiny_joules =
       power::EnergyMeter::Delta(s1, meter_.Snapshot()).joules[hdd_.channel()

@@ -36,7 +36,7 @@ class CheckpointTest : public ::testing::Test {
     rec.slot = *slot;
     rec.after = Bytes(payload);
     wal_.Append(std::move(rec));
-    wal_.Commit(txn);
+    ASSERT_TRUE(wal_.Commit(txn).ok());
   }
 
   sim::SimClock clock_;
@@ -92,7 +92,7 @@ TEST_F(CheckpointTest, TruncatedLogDropsPrefix) {
   InsertRecord(1, {1, 0}, "before-checkpoint");
   ASSERT_TRUE(checkpointer_.Take(live_).ok());
   InsertRecord(2, {1, 0}, "after-checkpoint");
-  wal_.Flush();
+  ASSERT_TRUE(wal_.Flush().ok());
 
   const std::vector<uint8_t> truncated =
       checkpointer_.TruncatedLog(wal_.durable_bytes());
@@ -111,7 +111,7 @@ TEST_F(CheckpointTest, TruncatedLogDropsPrefix) {
 
 TEST_F(CheckpointTest, NoCheckpointMeansFullLog) {
   InsertRecord(1, {1, 0}, "x");
-  wal_.Flush();
+  ASSERT_TRUE(wal_.Flush().ok());
   EXPECT_EQ(checkpointer_.TruncatedLog(wal_.durable_bytes()).size(),
             wal_.durable_bytes().size());
 }
@@ -122,7 +122,7 @@ TEST_F(CheckpointTest, RecoverFromCheckpointPlusSuffixMatchesLive) {
   ASSERT_TRUE(checkpointer_.Take(live_).ok());
   InsertRecord(3, {1, 0}, "three");
   InsertRecord(4, {3, 0}, "four");
-  wal_.Flush();
+  ASSERT_TRUE(wal_.Flush().ok());
 
   auto recovered = checkpointer_.Recover(wal_.durable_bytes());
   ASSERT_TRUE(recovered.ok());
@@ -135,7 +135,7 @@ TEST_F(CheckpointTest, SecondCheckpointSupersedesFirst) {
   InsertRecord(2, {1, 0}, "two");
   ASSERT_TRUE(checkpointer_.Take(live_).ok());
   InsertRecord(3, {1, 0}, "three");
-  wal_.Flush();
+  ASSERT_TRUE(wal_.Flush().ok());
 
   auto recovered = checkpointer_.Recover(wal_.durable_bytes());
   ASSERT_TRUE(recovered.ok());
@@ -155,7 +155,7 @@ TEST_F(CheckpointTest, RecoverWithTornSuffixStillConsistent) {
   InsertRecord(1, {1, 0}, "committed");
   ASSERT_TRUE(checkpointer_.Take(live_).ok());
   InsertRecord(2, {1, 0}, "latest");
-  wal_.Flush();
+  ASSERT_TRUE(wal_.Flush().ok());
   std::vector<uint8_t> log = wal_.durable_bytes();
   log.resize(log.size() - 5);  // tear the commit of txn 2
 

@@ -33,7 +33,7 @@ TEST(HddDevice, SequentialReadTimeIsPositioningPlusTransfer) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   HddDevice hdd("d0", TestHdd(), &meter);
-  const IoResult r = hdd.SubmitRead(0.0, 100e6, /*sequential=*/true);
+  const IoResult r = hdd.SubmitRead(0.0, 100e6, /*sequential=*/true).value();
   // First access pays positioning even when sequential.
   EXPECT_NEAR(r.service_seconds, 1.0 + 0.006, 1e-9);
   EXPECT_NEAR(r.completion_time, 1.006, 1e-9);
@@ -43,8 +43,8 @@ TEST(HddDevice, SequentialStreamSkipsPositioningAfterFirst) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   HddDevice hdd("d0", TestHdd(), &meter);
-  hdd.SubmitRead(0.0, 100e6, true);
-  const IoResult r2 = hdd.SubmitRead(0.0, 100e6, true);
+  ASSERT_TRUE(hdd.SubmitRead(0.0, 100e6, true).ok());
+  const IoResult r2 = hdd.SubmitRead(0.0, 100e6, true).value();
   EXPECT_NEAR(r2.service_seconds, 1.0, 1e-9);
 }
 
@@ -52,8 +52,8 @@ TEST(HddDevice, RandomReadsAlwaysSeek) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   HddDevice hdd("d0", TestHdd(), &meter);
-  hdd.SubmitRead(0.0, 8192, false);
-  const IoResult r2 = hdd.SubmitRead(0.0, 8192, false);
+  ASSERT_TRUE(hdd.SubmitRead(0.0, 8192, false).ok());
+  const IoResult r2 = hdd.SubmitRead(0.0, 8192, false).value();
   EXPECT_GT(r2.service_seconds, 0.006);
 }
 
@@ -61,8 +61,8 @@ TEST(HddDevice, RequestsSerializeOnBusyDevice) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   HddDevice hdd("d0", TestHdd(), &meter);
-  const IoResult a = hdd.SubmitRead(0.0, 50e6, true);
-  const IoResult b = hdd.SubmitRead(0.0, 50e6, true);
+  const IoResult a = hdd.SubmitRead(0.0, 50e6, true).value();
+  const IoResult b = hdd.SubmitRead(0.0, 50e6, true).value();
   EXPECT_GE(b.start_time, a.completion_time);
 }
 
@@ -70,7 +70,7 @@ TEST(HddDevice, EnergyMatchesActivePlusIdleIntegral) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   HddDevice hdd("d0", TestHdd(), &meter);
-  const IoResult r = hdd.SubmitRead(0.0, 100e6, true);
+  const IoResult r = hdd.SubmitRead(0.0, 100e6, true).value();
   clock.AdvanceTo(10.0);
   // Idle 12 W for the full 10 s + (17-12) W differential while busy.
   const double expect = 12.0 * 10.0 + 5.0 * r.service_seconds;
@@ -93,7 +93,7 @@ TEST(HddDevice, SpinUpCostsTimeAndEnergy) {
   HddDevice hdd("d0", TestHdd(), &meter);
   hdd.PowerDown(0.0);
   clock.AdvanceTo(100.0);
-  const IoResult r = hdd.SubmitRead(100.0, 100e6, true);
+  const IoResult r = hdd.SubmitRead(100.0, 100e6, true).value();
   // 6 s spin-up before the read can start.
   EXPECT_NEAR(r.start_time, 106.0, 1e-9);
   EXPECT_EQ(hdd.spinup_count(), 1);
@@ -152,7 +152,7 @@ TEST(SsdDevice, ReadTimeIsLatencyPlusTransfer) {
   spec.read_bw_bytes_per_s = 250e6;
   spec.read_latency_s = 75e-6;
   SsdDevice ssd("s0", spec, &meter);
-  const IoResult r = ssd.SubmitRead(0.0, 250e6, true);
+  const IoResult r = ssd.SubmitRead(0.0, 250e6, true).value();
   EXPECT_NEAR(r.service_seconds, 1.0 + 75e-6, 1e-9);
 }
 
@@ -160,8 +160,8 @@ TEST(SsdDevice, WritesSlowerThanReads) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   SsdDevice ssd("s0", power::SsdSpec{}, &meter);
-  const IoResult rd = ssd.SubmitRead(0.0, 100e6, true);
-  const IoResult wr = ssd.SubmitWrite(rd.completion_time, 100e6, true);
+  const IoResult rd = ssd.SubmitRead(0.0, 100e6, true).value();
+  const IoResult wr = ssd.SubmitWrite(rd.completion_time, 100e6, true).value();
   EXPECT_GT(wr.service_seconds, rd.service_seconds);
 }
 
@@ -201,7 +201,7 @@ std::unique_ptr<DiskArray> MakeArray(int disks, power::EnergyMeter* meter,
   spec.controller_bw_bytes_per_s = controller_bw;
   spec.stripe_skew_alpha = 0.0;
   spec.per_request_overhead_s = 0.0;
-  return std::make_unique<DiskArray>("arr", spec, std::move(members));
+  return DiskArray::Create("arr", spec, std::move(members)).value();
 }
 
 TEST(DiskArray, StripingSpeedsUpReads) {
@@ -209,8 +209,8 @@ TEST(DiskArray, StripingSpeedsUpReads) {
   power::EnergyMeter meter(&clock);
   auto a1 = MakeArray(1, &meter);
   auto a4 = MakeArray(4, &meter);
-  const double t1 = a1->SubmitRead(0.0, 400e6, true).service_seconds;
-  const double t4 = a4->SubmitRead(0.0, 400e6, true).service_seconds;
+  const double t1 = a1->SubmitRead(0.0, 400e6, true).value().service_seconds;
+  const double t4 = a4->SubmitRead(0.0, 400e6, true).value().service_seconds;
   EXPECT_GT(t1 / t4, 3.5);
 }
 
@@ -218,7 +218,7 @@ TEST(DiskArray, ControllerCeilingCapsThroughput) {
   sim::SimClock clock;
   power::EnergyMeter meter(&clock);
   auto capped = MakeArray(8, &meter, RaidLevel::kRaid0, 200e6);
-  const IoResult r = capped->SubmitRead(0.0, 400e6, true);
+  const IoResult r = capped->SubmitRead(0.0, 400e6, true).value();
   EXPECT_GE(r.service_seconds, 2.0);  // 400 MB at 200 MB/s fabric
 }
 
@@ -238,11 +238,11 @@ TEST(DiskArray, StripeSkewCreatesDiminishingReturns) {
     spec.level = RaidLevel::kRaid0;
     spec.stripe_skew_alpha = 0.01;
     spec.per_request_overhead_s = 0.0;
-    return std::make_unique<DiskArray>("skewed", spec, std::move(members));
+    return DiskArray::Create("skewed", spec, std::move(members)).value();
   };
-  const double t2 = make_skewed(2)->SubmitRead(0, 1e9, true).service_seconds;
-  const double t4 = make_skewed(4)->SubmitRead(0, 1e9, true).service_seconds;
-  const double t8 = make_skewed(8)->SubmitRead(0, 1e9, true).service_seconds;
+  const double t2 = make_skewed(2)->SubmitRead(0, 1e9, true).value().service_seconds;
+  const double t4 = make_skewed(4)->SubmitRead(0, 1e9, true).value().service_seconds;
+  const double t8 = make_skewed(8)->SubmitRead(0, 1e9, true).value().service_seconds;
   const double gain_2_to_4 = t2 / t4;
   const double gain_4_to_8 = t4 / t8;
   EXPECT_GT(gain_2_to_4, gain_4_to_8);
@@ -254,8 +254,8 @@ TEST(DiskArray, Raid5WritesAmplify) {
   power::EnergyMeter meter(&clock);
   auto r0 = MakeArray(4, &meter, RaidLevel::kRaid0);
   auto r5 = MakeArray(4, &meter, RaidLevel::kRaid5);
-  const double t0 = r0->SubmitWrite(0.0, 300e6, true).service_seconds;
-  const double t5 = r5->SubmitWrite(0.0, 300e6, true).service_seconds;
+  const double t0 = r0->SubmitWrite(0.0, 300e6, true).value().service_seconds;
+  const double t5 = r5->SubmitWrite(0.0, 300e6, true).value().service_seconds;
   EXPECT_GT(t5, t0 * 1.2);
 }
 

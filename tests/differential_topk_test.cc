@@ -24,6 +24,7 @@
 #include "exec/sort_limit.h"
 #include "exec/topk.h"
 #include "power/platform.h"
+#include "storage/fault_injector.h"
 #include "storage/ssd.h"
 #include "storage/table_storage.h"
 #include "util/random.h"
@@ -93,13 +94,30 @@ class DifferentialTopKTest : public ::testing::Test {
     return c;
   }
 
+  /// The device tables are built on (and spilled to): the plain SSD, or a
+  /// fault-injected wrapper when a test armed a FaultPlan.
+  storage::StorageDevice* device() {
+    return faulty_ != nullptr ? static_cast<storage::StorageDevice*>(faulty_.get())
+                              : ssd_.get();
+  }
+
+  /// Wraps a fresh SSD in a FaultInjectedDevice replaying `plan` — every
+  /// table and spill I/O of the case then goes through the injector.
+  void ArmFaultPlan(storage::FaultPlan plan) {
+    injector_ = std::make_unique<storage::FaultInjector>(std::move(plan));
+    faulty_ = std::make_unique<storage::FaultInjectedDevice>(
+        std::make_unique<storage::SsdDevice>("s0", power::SsdSpec{},
+                                             platform_->meter()),
+        injector_.get(), platform_->meter());
+  }
+
   std::unique_ptr<storage::TableStorage> MakeTable(const CaseSpec& c) {
     Schema schema({Column{"a", DataType::kInt64, 8},
                    Column{"b", DataType::kDouble, 8},
                    Column{"c", DataType::kString, 2},
                    Column{"payload", DataType::kInt64, 8}});
     auto table = std::make_unique<storage::TableStorage>(
-        1, schema, storage::TableLayout::kColumn, ssd_.get());
+        1, schema, storage::TableLayout::kColumn, device());
     std::vector<storage::ColumnData> cols(4);
     cols[0].type = DataType::kInt64;
     cols[1].type = DataType::kDouble;
@@ -157,11 +175,14 @@ class DifferentialTopKTest : public ::testing::Test {
     EXPECT_EQ(got.io_bytes, base.io_bytes);
     EXPECT_EQ(got.cpu_seconds, base.cpu_seconds);
     EXPECT_EQ(got.cpu_serial_seconds, base.cpu_serial_seconds);
+    EXPECT_EQ(got.faults.transient_errors, base.faults.transient_errors);
+    EXPECT_EQ(got.faults.retry_seconds, base.faults.retry_seconds);
+    EXPECT_EQ(got.faults.retry_joules, base.faults.retry_joules);
   }
 
   void RunCase(const CaseSpec& c) {
     auto table = MakeTable(c);
-    storage::StorageDevice* spill = c.spill ? ssd_.get() : nullptr;
+    storage::StorageDevice* spill = c.spill ? device() : nullptr;
 
     // Oracle: serial stable sort, then limit.
     LimitOp oracle(
@@ -208,6 +229,8 @@ class DifferentialTopKTest : public ::testing::Test {
 
   std::unique_ptr<power::HardwarePlatform> platform_;
   std::unique_ptr<storage::SsdDevice> ssd_;
+  std::unique_ptr<storage::FaultInjector> injector_;
+  std::unique_ptr<storage::FaultInjectedDevice> faulty_;
 };
 
 TEST_F(DifferentialTopKTest, RandomizedSpecsMatchOracleAtEveryDop) {
@@ -247,6 +270,58 @@ TEST_F(DifferentialTopKTest, SpillingTopKStillMatchesOracle) {
   c.spill = true;
   c.budget = 1024;
   RunCase(c);
+}
+
+TEST_F(DifferentialTopKTest, FaultPlanCaseMatchesOracleWithIdenticalRetries) {
+  // Plan equivalence under injected faults: retried transient errors on the
+  // table/spill device change charges, but rows still match the clean-device
+  // oracle, and an identical (seed, plan, query) triple replays the same
+  // FaultSummary bit-for-bit at every dop. The injector's attempt counter
+  // is part of the replayed state, so each run re-arms a fresh one.
+  CaseSpec c;
+  c.seed = 13;
+  c.n = 2200;
+  c.k = 150;
+  c.keys = {{"a", true}, {"b", false}};
+  c.dup_domain = 7;
+  c.spill = true;
+  c.budget = 1024;
+
+  // Oracle on the pristine SSD.
+  auto clean_table = MakeTable(c);
+  LimitOp oracle(std::make_unique<SortOp>(
+                     std::make_unique<TableScanOp>(clean_table.get()), c.keys,
+                     c.budget, ssd_.get()),
+                 c.k);
+  const RunOutcome expected = Run(&oracle, 1);
+  ASSERT_EQ(expected.rows.size(), c.k);
+
+  auto run_faulted = [&](int dop) {
+    storage::FaultPlan plan;
+    plan.seed = 31;
+    storage::DeviceFaultSpec spec;
+    spec.device = "s0";
+    spec.transient_ios = {0, 2};
+    spec.transient_error_rate = 0.15;
+    plan.devices.push_back(spec);
+    ArmFaultPlan(plan);
+    auto table = MakeTable(c);
+    ParallelTopKOp topk(std::make_unique<ParallelTableScanOp>(table.get()),
+                        c.keys, c.k, c.budget, device());
+    return Run(&topk, dop);
+  };
+
+  const RunOutcome base = run_faulted(1);
+  EXPECT_EQ(base.rows, expected.rows);
+  ASSERT_GT(base.stats.faults.transient_errors, 0u);
+  ASSERT_GT(base.stats.faults.retry_joules, 0.0);
+
+  for (int dop : {2, 4, 8}) {
+    SCOPED_TRACE("dop=" + std::to_string(dop));
+    const RunOutcome got = run_faulted(dop);
+    EXPECT_EQ(got.rows, expected.rows);
+    ExpectChargesIdentical(got.stats, base.stats);
+  }
 }
 
 }  // namespace

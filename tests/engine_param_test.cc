@@ -198,7 +198,7 @@ TEST_P(PoolPolicySweep, InvariantsHoldUnderRandomTrace) {
     const storage::PageId id{page % 2 == 0 ? 1u : 2u, page};
     const bool resident_before = pool.IsResident(id);
     const storage::PageAccess access =
-        pool.Access(id, dev, rng.Bernoulli(0.1));
+        pool.Access(id, dev, rng.Bernoulli(0.1)).value();
     // Hit iff it was resident; after any access it is resident.
     EXPECT_EQ(access.hit, resident_before);
     EXPECT_TRUE(pool.IsResident(id));
@@ -212,7 +212,7 @@ TEST_P(PoolPolicySweep, InvariantsHoldUnderRandomTrace) {
   // Zipf(0.6) over 128 pages with 32 frames: every policy should manage a
   // non-trivial hit rate.
   EXPECT_GT(pool.stats().HitRate(), 0.25);
-  pool.FlushAll();
+  ASSERT_TRUE(pool.FlushAll().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -248,9 +248,11 @@ TEST_P(ArraySweep, ReadCompletesAndScalesSanely) {
   }
   storage::ArraySpec spec;
   spec.level = c.level;
-  storage::DiskArray array("a", spec, std::move(members));
+  std::unique_ptr<storage::DiskArray> array_ptr =
+      storage::DiskArray::Create("a", spec, std::move(members)).value();
+  storage::DiskArray& array = *array_ptr;
 
-  const storage::IoResult r = array.SubmitRead(0.0, 500e6, true);
+  const storage::IoResult r = array.SubmitRead(0.0, 500e6, true).value();
   EXPECT_GT(r.service_seconds, 0.0);
   // Never slower than a single disk doing all the work.
   const double single = 500e6 / power::HddSpec{}.sustained_bw_bytes_per_s;
@@ -260,7 +262,7 @@ TEST_P(ArraySweep, ReadCompletesAndScalesSanely) {
               r.service_seconds * 0.25 + 0.05);
   // Writes never beat reads (parity and write-rate penalties).
   const storage::IoResult w =
-      array.SubmitWrite(r.completion_time, 500e6, true);
+      array.SubmitWrite(r.completion_time, 500e6, true).value();
   EXPECT_GE(w.service_seconds, r.service_seconds * 0.9);
 }
 

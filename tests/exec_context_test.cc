@@ -36,7 +36,7 @@ class ExecContextTest : public ::testing::Test {
 TEST_F(ExecContextTest, IoBoundQueryEndsAtIoCompletion) {
   // The Figure 2 uncompressed case: 10 s of I/O overlapping 3.2 s of CPU.
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 1000e6, true);  // 10 s at 100 MB/s
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 1000e6, true).ok());  // 10 s at 100 MB/s
   ctx.ChargeInstructions(InstrForSeconds(3.2));
   const QueryStats stats = ctx.Finish();
   EXPECT_NEAR(stats.elapsed_seconds, 10.0, 1e-6);
@@ -47,7 +47,7 @@ TEST_F(ExecContextTest, CpuBoundQueryEndsAtCpuCompletion) {
   // The Figure 2 compressed case: 5.5 s I/O vs 5.1 s CPU -> max wins; here
   // flip it so CPU dominates.
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 100e6, true);  // 1 s
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 100e6, true).ok());  // 1 s
   ctx.ChargeInstructions(InstrForSeconds(5.1));
   const QueryStats stats = ctx.Finish();
   EXPECT_NEAR(stats.elapsed_seconds, 5.1, 1e-6);
@@ -57,7 +57,7 @@ TEST_F(ExecContextTest, EnergyMatchesPaperArithmetic) {
   // Reproduce the paper's uncompressed-scan energy: 90 W x 3.2 s CPU +
   // 5 W x 10 s SSD = 338 J.
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 1000e6, true);
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 1000e6, true).ok());
   ctx.ChargeInstructions(InstrForSeconds(3.2));
   const QueryStats stats = ctx.Finish();
   EXPECT_NEAR(stats.Joules(), 90.0 * 3.2 + 5.0 * 10.0, 0.5);
@@ -104,18 +104,18 @@ TEST_F(ExecContextTest, SlowerPstateStretchesTime) {
 
 TEST_F(ExecContextTest, SequentialQueriesAdvanceClock) {
   ExecContext a(platform_.get(), ExecOptions{});
-  a.ChargeRead(ssd_.get(), 100e6, true);
+  ASSERT_TRUE(a.ChargeRead(ssd_.get(), 100e6, true).ok());
   const QueryStats sa = a.Finish();
   ExecContext b(platform_.get(), ExecOptions{});
-  b.ChargeRead(ssd_.get(), 100e6, true);
+  ASSERT_TRUE(b.ChargeRead(ssd_.get(), 100e6, true).ok());
   const QueryStats sb = b.Finish();
   EXPECT_GE(sb.start_time, sa.end_time - 1e-9);
 }
 
 TEST_F(ExecContextTest, IoBytesAndRowsTracked) {
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 12345, false);
-  ctx.ChargeWrite(ssd_.get(), 55, false);
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 12345, false).ok());
+  ASSERT_TRUE(ctx.ChargeWrite(ssd_.get(), 55, false).ok());
   ctx.CountRows(17);
   const QueryStats stats = ctx.Finish();
   EXPECT_EQ(stats.io_bytes, 12400u);
@@ -125,7 +125,7 @@ TEST_F(ExecContextTest, IoBytesAndRowsTracked) {
 
 TEST_F(ExecContextTest, RowsPerJoulePositive) {
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 100e6, true);
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 100e6, true).ok());
   ctx.CountRows(1000);
   const QueryStats stats = ctx.Finish();
   EXPECT_GT(stats.RowsPerJoule(), 0.0);
@@ -143,8 +143,8 @@ TEST_F(ExecContextTest, ZeroByteIoChargesNothing) {
   spec.idle_watts = 5.0;
   storage::SsdDevice ssd("ssd0", spec, platform_->meter());
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(&ssd, 0, true);
-  ctx.ChargeWrite(&ssd, 0, false);
+  ASSERT_TRUE(ctx.ChargeRead(&ssd, 0, true).ok());
+  ASSERT_TRUE(ctx.ChargeWrite(&ssd, 0, false).ok());
   const QueryStats stats = ctx.Finish();
   EXPECT_EQ(stats.io_bytes, 0u);
   EXPECT_EQ(stats.io_seconds, 0.0);
@@ -193,7 +193,7 @@ TEST_F(ExecContextTest, MixedSerialAndParallelWorkFollowsAmdahl) {
 
 TEST_F(ExecContextTest, EnergyBreakdownNamesChannels) {
   ExecContext ctx(platform_.get(), ExecOptions{});
-  ctx.ChargeRead(ssd_.get(), 100e6, true);
+  ASSERT_TRUE(ctx.ChargeRead(ssd_.get(), 100e6, true).ok());
   const QueryStats stats = ctx.Finish();
   bool found_ssd = false;
   for (const auto& entry : stats.energy.entries) {

@@ -156,9 +156,9 @@ TEST(Page, ResurrectLiveSlotFails) {
 
 TEST(Page, ImageRoundTrip) {
   Page page;
-  page.Insert(Bytes("alpha"));
-  page.Insert(Bytes("beta"));
-  page.Erase(0);
+  ASSERT_TRUE(page.Insert(Bytes("alpha")).ok());
+  ASSERT_TRUE(page.Insert(Bytes("beta")).ok());
+  ASSERT_TRUE(page.Erase(0).ok());
   auto restored = Page::FromImage(page.image());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->slot_count(), 2);

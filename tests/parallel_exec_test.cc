@@ -23,6 +23,7 @@
 #include "exec/scan.h"
 #include "exec/worker_pool.h"
 #include "power/platform.h"
+#include "storage/fault_injector.h"
 #include "storage/ssd.h"
 #include "storage/table_storage.h"
 
@@ -426,6 +427,64 @@ TEST_F(ParallelExecTest, WallClockSpeedupOnMultiCoreHosts) {
   // Conservative bound (acceptance target is 2.5x on a quiet 4-core host;
   // CI neighbours steal cycles).
   EXPECT_GT(t1 / t4, 1.5) << "dop1=" << t1 << "s dop4=" << t4 << "s";
+}
+
+// --- Determinism under a fault plan -------------------------------------------
+
+TEST_F(ParallelExecTest, FaultPlanReplaysBitIdenticalAtEveryDop) {
+  // The §7 contract extended to faults: device submission stays on the
+  // coordinator in deterministic order, so a seeded FaultPlan (retried
+  // transient errors with charged backoff) replays bit-identically at any
+  // dop — same rows, same I/O bytes, same FaultSummary.
+  auto run_at_dop = [this](int dop) {
+    storage::FaultPlan plan;
+    plan.seed = 77;
+    storage::DeviceFaultSpec spec;
+    spec.device = "faulty-ssd";
+    spec.transient_ios = {0};
+    spec.transient_error_rate = 0.2;
+    plan.devices.push_back(spec);
+    storage::FaultInjector injector(plan);
+    storage::FaultInjectedDevice device(
+        std::make_unique<storage::SsdDevice>("faulty-ssd", power::SsdSpec{},
+                                             platform_->meter()),
+        &injector, platform_->meter());
+
+    Schema schema({Column{"id", DataType::kInt64, 8},
+                   Column{"qty", DataType::kDouble, 8}});
+    storage::TableStorage table(1, schema, storage::TableLayout::kColumn,
+                                &device);
+    std::vector<storage::ColumnData> cols(2);
+    cols[0].type = DataType::kInt64;
+    cols[1].type = DataType::kDouble;
+    for (int i = 0; i < 20000; ++i) {
+      cols[0].i64.push_back(i);
+      cols[1].f64.push_back((i % 41) * 0.25);
+    }
+    EXPECT_TRUE(table.Append(cols).ok());
+
+    ParallelTableScanOp scan(&table, {});
+    return Run(&scan, dop);
+  };
+
+  const RunOutcome base = run_at_dop(1);
+  ASSERT_GT(base.stats.faults.transient_errors, 0u);
+  ASSERT_GT(base.stats.faults.retry_joules, 0.0);
+
+  for (int dop : {2, 4, 8}) {
+    const RunOutcome got = run_at_dop(dop);
+    EXPECT_EQ(got.rows, base.rows) << "dop=" << dop;
+    EXPECT_EQ(got.stats.io_bytes, base.stats.io_bytes) << "dop=" << dop;
+    EXPECT_DOUBLE_EQ(got.stats.cpu_instructions, base.stats.cpu_instructions)
+        << "dop=" << dop;
+    EXPECT_EQ(got.stats.faults.transient_errors,
+              base.stats.faults.transient_errors)
+        << "dop=" << dop;
+    EXPECT_EQ(got.stats.faults.retry_seconds, base.stats.faults.retry_seconds)
+        << "dop=" << dop;
+    EXPECT_EQ(got.stats.faults.retry_joules, base.stats.faults.retry_joules)
+        << "dop=" << dop;
+  }
 }
 
 }  // namespace

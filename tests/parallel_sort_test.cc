@@ -237,7 +237,7 @@ class FlakyRowsOp final : public Operator {
     for (int i = 0; i < take; ++i) {
       lane.i64.push_back(static_cast<int64_t>((emitted_ + i) * 7919 % rows_));
     }
-    batch.SealRows(static_cast<size_t>(take));
+    ECODB_RETURN_IF_ERROR(batch.SealRows(static_cast<size_t>(take)));
     emitted_ += take;
     ++batch_index_;
     *eos = false;

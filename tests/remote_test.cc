@@ -34,19 +34,19 @@ class RemoteTest : public ::testing::Test {
 
 TEST_F(RemoteTest, SlowNicPacesTheTransfer) {
   RemoteDevice remote = MakeRemote(125e6);  // 1 GbE vs 500 MB/s SSD
-  const IoResult r = remote.SubmitRead(0.0, 125e6, true);
+  const IoResult r = remote.SubmitRead(0.0, 125e6, true).value();
   EXPECT_NEAR(r.service_seconds, 1.0, 1e-6);  // NIC-bound
 }
 
 TEST_F(RemoteTest, FastNicLetsBackingPace) {
   RemoteDevice remote = MakeRemote(10e9);  // 100 GbE
-  const IoResult r = remote.SubmitRead(0.0, 500e6, true);
+  const IoResult r = remote.SubmitRead(0.0, 500e6, true).value();
   EXPECT_NEAR(r.service_seconds, 1.0, 1e-3);  // SSD-bound
 }
 
 TEST_F(RemoteTest, BothSidesBillEnergy) {
   RemoteDevice remote = MakeRemote(125e6);
-  const IoResult r = remote.SubmitRead(0.0, 125e6, true);
+  const IoResult r = remote.SubmitRead(0.0, 125e6, true).value();
   clock_.AdvanceTo(r.completion_time);
   // NIC: 1 W idle + 3 W active differential for 1 s of streaming.
   EXPECT_NEAR(meter_.ChannelJoules(remote.channel()), 1.0 + 3.0, 1e-6);
@@ -56,15 +56,15 @@ TEST_F(RemoteTest, BothSidesBillEnergy) {
 
 TEST_F(RemoteTest, RequestsSerialize) {
   RemoteDevice remote = MakeRemote(125e6);
-  const IoResult a = remote.SubmitRead(0.0, 125e6, true);
-  const IoResult b = remote.SubmitRead(0.0, 125e6, true);
+  const IoResult a = remote.SubmitRead(0.0, 125e6, true).value();
+  const IoResult b = remote.SubmitRead(0.0, 125e6, true).value();
   EXPECT_GE(b.start_time, a.completion_time - 1e-9);
 }
 
 TEST_F(RemoteTest, EstimatesMatchBehaviour) {
   RemoteDevice remote = MakeRemote(125e6);
   const double est = remote.EstimateReadSeconds(125e6);
-  const IoResult r = remote.SubmitRead(0.0, 125e6, true);
+  const IoResult r = remote.SubmitRead(0.0, 125e6, true).value();
   EXPECT_NEAR(est, r.service_seconds, r.service_seconds * 0.1);
   EXPECT_GT(remote.EstimateReadJoules(125e6),
             backing_->EstimateReadJoules(125e6));

@@ -175,7 +175,7 @@ TEST_F(BatchingTest, BatchingLengthensDeviceIdlePeriods) {
   for (int i = 0; i < 5; ++i) {
     batched.Submit([&] {
       const storage::IoResult r =
-          hdd.SubmitRead(clock_.now(), 8 << 20, false);
+          hdd.SubmitRead(clock_.now(), 8 << 20, false).value();
       completions.push_back(r.completion_time);
       return r.completion_time;
     });
@@ -233,7 +233,7 @@ TEST_F(ConsolidationTest, MigrateMovesTableAndPowersDownSource) {
   ASSERT_TRUE(table.Append({col}).ok());
 
   const double done =
-      ConsolidationManager::Migrate(&table, &target_, &clock_);
+      ConsolidationManager::Migrate(&table, &target_, &clock_).value();
   EXPECT_GT(done, 0.0);
   EXPECT_EQ(table.device(), &target_);
   EXPECT_TRUE(source_.IsPoweredDown());
@@ -265,7 +265,7 @@ TEST_F(ConsolidationTest, MigrationSavesEnergyOverLongHorizon) {
   col.type = catalog::DataType::kInt64;
   for (int i = 0; i < 1000000; ++i) col.i64.push_back(i);
   ASSERT_TRUE(table.Append({col}).ok());
-  ConsolidationManager::Migrate(&table, &dst, &clock_mig);
+  ASSERT_TRUE(ConsolidationManager::Migrate(&table, &dst, &clock_mig).ok());
   clock_mig.AdvanceTo(horizon);
   const double mig_joules = meter_mig.ChannelJoules(src.channel());
 

@@ -143,7 +143,7 @@ TEST_F(WalTest, LsnsMonotonic) {
 TEST_F(WalTest, ImmediateFlushWithGroupSizeOne) {
   WalManager wal = MakeWal(1);
   wal.Append(Insert(1, 0, "x"));
-  const CommitResult r = wal.Commit(1);
+  const CommitResult r = wal.Commit(1).value();
   EXPECT_GT(r.durable_time, 0.0);
   EXPECT_EQ(wal.stats().flushes, 1u);
   EXPECT_FALSE(wal.durable_bytes().empty());
@@ -153,7 +153,7 @@ TEST_F(WalTest, GroupCommitBatchesFlushes) {
   WalManager wal = MakeWal(4);
   for (TxnId t = 1; t <= 8; ++t) {
     wal.Append(Insert(t, static_cast<uint32_t>(t), "v"));
-    wal.Commit(t);
+    ASSERT_TRUE(wal.Commit(t).ok());
   }
   EXPECT_EQ(wal.stats().flushes, 2u);  // 8 commits / group of 4
   EXPECT_EQ(wal.stats().commits, 8u);
@@ -176,9 +176,9 @@ TEST_F(WalTest, GroupCommitReducesDeviceEnergy) {
       rec.page = {1, static_cast<uint32_t>(t)};
       rec.after.assign(100, 0x5a);
       wal.Append(std::move(rec));
-      wal.Commit(t);
+      EXPECT_TRUE(wal.Commit(t).ok());
     }
-    wal.Flush();
+    EXPECT_TRUE(wal.Flush().ok());
     clock.AdvanceTo(dev.busy_until());
     return meter.ChannelJoules(dev.channel());
   };
@@ -188,17 +188,17 @@ TEST_F(WalTest, GroupCommitReducesDeviceEnergy) {
 TEST_F(WalTest, TimeoutFlushesPartialGroup) {
   WalManager wal = MakeWal(10, 0.5);
   wal.Append(Insert(1, 0, "x"));
-  wal.Commit(1);
+  ASSERT_TRUE(wal.Commit(1).ok());
   EXPECT_EQ(wal.stats().flushes, 0u);
-  EXPECT_FALSE(wal.FlushTimedOut(0.1));  // too early
+  EXPECT_FALSE(wal.FlushTimedOut(0.1).value());  // too early
   clock_.AdvanceTo(0.6);
-  EXPECT_TRUE(wal.FlushTimedOut(0.6));
+  EXPECT_TRUE(wal.FlushTimedOut(0.6).value());
   EXPECT_EQ(wal.stats().flushes, 1u);
 }
 
 TEST_F(WalTest, FlushWithNothingPendingIsNoop) {
   WalManager wal = MakeWal(1);
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
   EXPECT_EQ(wal.stats().flushes, 0u);
 }
 
@@ -220,7 +220,7 @@ TEST_F(RecoveryTest, CommittedWorkIsRedone) {
   PageStore live;
   ASSERT_TRUE(ApplyRedo(ins, &live).ok());
   wal.Append(std::move(ins));
-  wal.Commit(1);
+  ASSERT_TRUE(wal.Commit(1).ok());
 
   PageStore recovered;
   auto report = Recover(wal.durable_bytes(), &recovered);
@@ -238,7 +238,7 @@ TEST_F(RecoveryTest, UncommittedWorkIsUndone) {
   PageStore live;
   ASSERT_TRUE(ApplyRedo(a, &live).ok());
   wal.Append(std::move(a));
-  wal.Commit(1);
+  ASSERT_TRUE(wal.Commit(1).ok());
 
   // Forward processing: apply to the live page first, then log the slot
   // the insert actually landed in.
@@ -248,7 +248,7 @@ TEST_F(RecoveryTest, UncommittedWorkIsUndone) {
   b.slot = *slot;  // second insert on the page lands in slot 1
   EXPECT_EQ(b.slot, 1);
   wal.Append(std::move(b));
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
 
   PageStore recovered;
   auto report = Recover(wal.durable_bytes(), &recovered);
@@ -281,7 +281,7 @@ TEST_F(RecoveryTest, UpdateAndEraseRecover) {
   upd.after = Bytes("v2");
   ASSERT_TRUE(ApplyRedo(upd, &live).ok());
   wal.Append(std::move(upd));
-  wal.Commit(1);
+  ASSERT_TRUE(wal.Commit(1).ok());
 
   LogRecord ers;
   ers.txn_id = 2;
@@ -291,7 +291,7 @@ TEST_F(RecoveryTest, UpdateAndEraseRecover) {
   ers.before = Bytes("v2");
   ASSERT_TRUE(ApplyRedo(ers, &live).ok());
   wal.Append(std::move(ers));
-  wal.Flush();  // txn 2 never commits
+  ASSERT_TRUE(wal.Flush().ok());  // txn 2 never commits
 
   PageStore recovered;
   auto report = Recover(wal.durable_bytes(), &recovered);
@@ -308,10 +308,10 @@ TEST_F(RecoveryTest, TornTailDetectedAndIgnored) {
   WalManager wal = MakeWal(1);
   LogRecord a = Insert(1, 0, "first");
   wal.Append(std::move(a));
-  wal.Commit(1);
+  ASSERT_TRUE(wal.Commit(1).ok());
   LogRecord b = Insert(2, 1, "second");  // separate page, slot 0
   wal.Append(std::move(b));
-  wal.Commit(2);
+  ASSERT_TRUE(wal.Commit(2).ok());
 
   const std::vector<uint8_t>& full = wal.durable_bytes();
   // Cut in the middle of the second commit's frames.
@@ -333,9 +333,9 @@ TEST_F(RecoveryTest, RecoveryAtEveryPrefixNeverErrors) {
                            std::to_string(t));
     ins.slot = next_slot[ins.page.page_no]++;
     wal.Append(std::move(ins));
-    wal.Commit(t);
+    ASSERT_TRUE(wal.Commit(t).ok());
   }
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
   const std::vector<uint8_t> full = wal.durable_bytes();
   for (size_t cut = 0; cut <= full.size(); cut += 7) {
     std::vector<uint8_t> prefix(full.begin(),
@@ -353,7 +353,7 @@ TEST_F(RecoveryTest, RecoveryIsIdempotentFromCheckpointState) {
     LogRecord ins = Insert(t, 0, "r" + std::to_string(t));
     ins.slot = static_cast<uint16_t>(t - 1);  // sequential slots on page 0
     wal.Append(std::move(ins));
-    wal.Commit(t);
+    ASSERT_TRUE(wal.Commit(t).ok());
   }
   PageStore once, twice;
   ASSERT_TRUE(Recover(wal.durable_bytes(), &once).ok());
@@ -368,7 +368,7 @@ TEST(PageStore, EqualityDetectsDifferences) {
   EXPECT_FALSE(PageStore::Equal(a, b));
   b.GetOrCreate({1, 0});
   EXPECT_TRUE(PageStore::Equal(a, b));
-  a.GetOrCreate({1, 0})->Insert(Bytes("x"));
+  ASSERT_TRUE(a.GetOrCreate({1, 0})->Insert(Bytes("x")).ok());
   EXPECT_FALSE(PageStore::Equal(a, b));
 }
 

@@ -45,8 +45,8 @@ class SharedScanTest : public ::testing::Test {
 
 TEST_F(SharedScanTest, SecondScanWithinWindowPiggybacks) {
   SharedScanManager mgr(&clock_, /*share_window_s=*/1.0);
-  const ScanTicket a = mgr.RequestScan(*table_, {0});
-  const ScanTicket b = mgr.RequestScan(*table_, {0});
+  const ScanTicket a = mgr.RequestScan(*table_, {0}).value();
+  const ScanTicket b = mgr.RequestScan(*table_, {0}).value();
   EXPECT_FALSE(a.shared);
   EXPECT_TRUE(b.shared);
   EXPECT_DOUBLE_EQ(a.ready_time, b.ready_time);
@@ -58,32 +58,32 @@ TEST_F(SharedScanTest, SecondScanWithinWindowPiggybacks) {
 
 TEST_F(SharedScanTest, ExpiredWindowRereads) {
   SharedScanManager mgr(&clock_, 1.0);
-  mgr.RequestScan(*table_, {0});
+  ASSERT_TRUE(mgr.RequestScan(*table_, {0}).ok());
   clock_.Advance(5.0);
-  const ScanTicket b = mgr.RequestScan(*table_, {0});
+  const ScanTicket b = mgr.RequestScan(*table_, {0}).value();
   EXPECT_FALSE(b.shared);
   EXPECT_EQ(mgr.stats().device_transfers, 2u);
 }
 
 TEST_F(SharedScanTest, WiderColumnSetCannotPiggyback) {
   SharedScanManager mgr(&clock_, 1.0);
-  mgr.RequestScan(*table_, {0});
-  const ScanTicket b = mgr.RequestScan(*table_, {0, 1});
+  ASSERT_TRUE(mgr.RequestScan(*table_, {0}).ok());
+  const ScanTicket b = mgr.RequestScan(*table_, {0, 1}).value();
   EXPECT_FALSE(b.shared);
   // But a narrower request can ride the wide one.
-  const ScanTicket c = mgr.RequestScan(*table_, {1});
+  const ScanTicket c = mgr.RequestScan(*table_, {1}).value();
   EXPECT_TRUE(c.shared);
 }
 
 TEST_F(SharedScanTest, SharingSavesDeviceEnergy) {
   const power::MeterSnapshot s0 = meter_.Snapshot();
   SharedScanManager shared(&clock_, 1.0);
-  for (int i = 0; i < 10; ++i) shared.RequestScan(*table_, {0});
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(shared.RequestScan(*table_, {0}).ok());
   const double shared_busy = meter_.ChannelBusySeconds(ssd_.channel());
 
   SharedScanManager unshared(&clock_, 0.0);
   for (int i = 0; i < 10; ++i) {
-    unshared.RequestScan(*table_, {0});
+    ASSERT_TRUE(unshared.RequestScan(*table_, {0}).ok());
     clock_.Advance(1.0);  // outside any window
   }
   const double total_busy = meter_.ChannelBusySeconds(ssd_.channel());
@@ -93,8 +93,8 @@ TEST_F(SharedScanTest, SharingSavesDeviceEnergy) {
 
 TEST_F(SharedScanTest, EmptyColumnListMeansAllColumns) {
   SharedScanManager mgr(&clock_, 1.0);
-  mgr.RequestScan(*table_, {});
-  const ScanTicket b = mgr.RequestScan(*table_, {0});
+  ASSERT_TRUE(mgr.RequestScan(*table_, {}).ok());
+  const ScanTicket b = mgr.RequestScan(*table_, {0}).value();
   EXPECT_TRUE(b.shared);  // full-table transfer covers any projection
 }
 
@@ -112,7 +112,7 @@ class PrefetcherTest : public ::testing::Test {
 TEST_F(PrefetcherTest, BurstSizeOneFetchesEveryPage) {
   BurstyPrefetcher pf(&clock_, &hdd_, 64 << 10, 1);
   for (int i = 0; i < 10; ++i) {
-    clock_.AdvanceTo(pf.NextPage());
+    clock_.AdvanceTo(pf.NextPage().value());
     clock_.Advance(1.0);  // consumer think time
   }
   EXPECT_EQ(pf.stats().device_bursts, 10u);
@@ -122,7 +122,7 @@ TEST_F(PrefetcherTest, BurstSizeOneFetchesEveryPage) {
 TEST_F(PrefetcherTest, LargerBurstsFewerDeviceVisits) {
   BurstyPrefetcher pf(&clock_, &hdd_, 64 << 10, 8);
   for (int i = 0; i < 32; ++i) {
-    clock_.AdvanceTo(pf.NextPage());
+    clock_.AdvanceTo(pf.NextPage().value());
     clock_.Advance(1.0);
   }
   EXPECT_EQ(pf.stats().device_bursts, 4u);
@@ -138,7 +138,7 @@ TEST_F(PrefetcherTest, BurstsLengthenIdleGaps) {
     storage::HddDevice hdd("h", power::HddSpec{}, &meter);
     BurstyPrefetcher pf(&clock, &hdd, 64 << 10, burst);
     for (int i = 0; i < 64; ++i) {
-      clock.AdvanceTo(pf.NextPage());
+      clock.AdvanceTo(pf.NextPage().value());
       clock.Advance(2.0);
     }
     return pf.stats().longest_idle_gap_s;
@@ -150,11 +150,11 @@ TEST_F(PrefetcherTest, BurstsLengthenIdleGaps) {
 
 TEST_F(PrefetcherTest, BufferedPagesServeInstantly) {
   BurstyPrefetcher pf(&clock_, &hdd_, 64 << 10, 4);
-  clock_.AdvanceTo(pf.NextPage());  // miss: fetches 4
+  clock_.AdvanceTo(pf.NextPage().value());  // miss: fetches 4
   EXPECT_EQ(pf.buffered(), 3);
   const double now = clock_.now();
-  EXPECT_DOUBLE_EQ(pf.NextPage(), now);  // hit
-  EXPECT_DOUBLE_EQ(pf.NextPage(), now);  // hit
+  EXPECT_DOUBLE_EQ(pf.NextPage().value(), now);  // hit
+  EXPECT_DOUBLE_EQ(pf.NextPage().value(), now);  // hit
   EXPECT_EQ(pf.buffered(), 1);
 }
 

@@ -1,0 +1,60 @@
+// Fixture for lint_test: seeded EC6 violations. Never compiled — the test
+// lints this file under the label src/storage/ec6_violation.cc.
+
+namespace ecodb::storage {
+
+// EC6: the retry loop re-submits without booking the failed attempt.
+StatusOr<IoResult> UnchargedRetry(StorageDevice* inner, uint64_t bytes) {
+  double backoff_s = 0.002;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto result = inner->SubmitRead(0.0, bytes, true);  // EC6: free retry
+    if (result.ok()) return result;
+    backoff_s *= 2.0;
+  }
+  return Status::Unavailable("exhausted");
+}
+
+// EC6 in a while-form retry loop.
+Status UnchargedWriteRetry(StorageDevice* inner, uint64_t bytes) {
+  int retries_left = 3;
+  while (retries_left > 0) {
+    if (inner->SubmitWrite(0.0, bytes, true).ok()) return Status();  // EC6
+    --retries_left;
+  }
+  return Status::Unavailable("exhausted");
+}
+
+// Compliant: the loop charges each failed attempt via ChargeRetryAttempt.
+StatusOr<IoResult> ChargedRetry(StorageDevice* inner, uint64_t bytes) {
+  double backoff_s = 0.002;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto result = inner->SubmitRead(0.0, bytes, true);
+    if (result.ok()) return result;
+    ChargeRetryAttempt(&backoff_s, bytes);
+  }
+  return Status::Unavailable("exhausted");
+}
+
+// Compliant: charging through the meter directly also satisfies the rule.
+StatusOr<IoResult> MeterChargedRetry(StorageDevice* inner, uint64_t bytes,
+                                     EnergyMeter* meter) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto result = inner->SubmitRead(0.0, bytes, true);
+    if (result.ok()) return result;
+    meter->AddEnergyAt(inner->channel(), 0.0, 1.0);
+  }
+  return Status::Unavailable("exhausted");
+}
+
+// Not a retry loop: sequential chunk replay (the rebuild scheduler shape)
+// has no retry markers, so plain Submit calls in a loop are fine.
+Status SequentialReplay(StorageDevice* device, uint64_t chunks) {
+  for (uint64_t i = 0; i < chunks; ++i) {
+    if (!device->SubmitRead(0.0, 1024, true).ok()) {
+      return Status::DataLoss("dead");
+    }
+  }
+  return Status();
+}
+
+}  // namespace ecodb::storage

@@ -224,6 +224,22 @@ bool IsUnorderedTypeName(const std::string& t) {
   return t.rfind("unordered_", 0) == 0;
 }
 
+/// EC6: identifiers that mark a loop as a retry loop.
+bool IsRetryMarker(const std::string& s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower.find("retry") != std::string::npos ||
+         lower.find("retries") != std::string::npos ||
+         lower.find("backoff") != std::string::npos ||
+         lower.find("attempt") != std::string::npos;
+}
+
+/// EC6: calls that book a retry's energy on the meter.
+bool IsRetryChargeName(const std::string& t) {
+  return t.rfind("AddEnergy", 0) == 0 || t.rfind("ChargeRetry", 0) == 0;
+}
+
 struct Scope {
   std::string guard;          // if-condition guarding this scope, if any
   Region region = Region::kNone;
@@ -242,6 +258,7 @@ class Scanner {
         unordered_names_(extra_unordered) {
     in_exec_ = path_.find("src/exec") != std::string::npos;
     in_sched_ = path_.find("src/sched") != std::string::npos;
+    in_storage_ = path_.find("src/storage") != std::string::npos;
   }
 
   std::vector<Finding> Run();
@@ -339,8 +356,19 @@ class Scanner {
     return tokens_.size();
   }
 
+  /// Index one past the '}' matching the '{' at `open`.
+  size_t MatchBrace(size_t open) const {
+    int depth = 0;
+    for (size_t k = open; k < tokens_.size(); ++k) {
+      if (tokens_[k].text == "{") ++depth;
+      if (tokens_[k].text == "}" && --depth == 0) return k + 1;
+    }
+    return tokens_.size();
+  }
+
   void HarvestDeclaration(size_t i);
   void CheckRangeFor(size_t header_begin, size_t header_end);
+  void CheckRetryLoops();
 
   std::string path_;
   LineDirectives directives_;
@@ -349,6 +377,7 @@ class Scanner {
   std::set<std::string> unordered_names_;
   bool in_exec_ = false;
   bool in_sched_ = false;
+  bool in_storage_ = false;
 
   std::vector<Scope> scopes_;
   std::map<int, Region>::const_iterator next_region_;
@@ -420,10 +449,61 @@ void Scanner::CheckRangeFor(size_t header_begin, size_t header_end) {
   }
 }
 
+/// EC6: a retry loop in src/storage that re-submits device I/O must book the
+/// failed attempt's energy on the meter before (or while) re-submitting. A
+/// loop counts as a retry loop when its header or body mentions a retry
+/// marker (retry / backoff / attempt) and it contains a Submit* call; it is
+/// compliant when the loop also calls an AddEnergy* / ChargeRetry* entry
+/// point. Simulated failures that cost nothing make degraded-mode energy
+/// look free — exactly the accounting hole the fault model exists to close.
+void Scanner::CheckRetryLoops() {
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    const Token& tok = tokens_[i];
+    if (!tok.ident) continue;
+    if (tok.text != "for" && tok.text != "while" && tok.text != "do") continue;
+    // Locate the body: skip the (header) for for/while; `do` bodies start
+    // immediately. Brace-less bodies run to the next ';'.
+    size_t body = i + 1;
+    if (tok.text != "do") {
+      if (body >= tokens_.size() || tokens_[body].text != "(") continue;
+      body = MatchParen(body);
+    }
+    if (body >= tokens_.size()) continue;
+    size_t end;
+    if (tokens_[body].text == "{") {
+      end = MatchBrace(body);
+    } else {
+      end = body;
+      while (end < tokens_.size() && tokens_[end].text != ";") ++end;
+    }
+    bool submits = false, retry_marker = false, charged = false;
+    int submit_line = tok.line;
+    // The header participates: `for (int attempt = ...)` marks the loop.
+    for (size_t k = i + 1; k < end; ++k) {
+      const Token& t = tokens_[k];
+      if (!t.ident) continue;
+      if (t.text.rfind("Submit", 0) == 0 && IsCall(k)) {
+        if (!submits) submit_line = t.line;
+        submits = true;
+      }
+      if (IsRetryMarker(t.text)) retry_marker = true;
+      if (IsRetryChargeName(t.text) && IsCall(k)) charged = true;
+    }
+    if (submits && retry_marker && !charged) {
+      Report("EC6", submit_line,
+             "retry loop re-submits device I/O without charging the meter: "
+             "book every failed attempt (ChargeRetry* / AddEnergy*) before "
+             "re-submitting — retries that cost nothing falsify the "
+             "degraded-mode energy model");
+    }
+  }
+}
+
 std::vector<Finding> Scanner::Run() {
   next_region_ = directives_.region.begin();
   next_partial_ = directives_.worker_partial.begin();
   const bool ec12_scope = in_exec_ || in_sched_;
+  if (in_storage_) CheckRetryLoops();
 
   for (size_t i = 0; i < tokens_.size(); ++i) {
     const Token& tok = tokens_[i];

@@ -142,6 +142,37 @@ TEST(EcodbLint, Ec5SeesMembersHarvestedFromSiblingHeader) {
   EXPECT_TRUE(LintSource("src/exec/agg.cc", source).empty());
 }
 
+TEST(EcodbLint, Ec6FlagsUnchargedRetryLoops) {
+  const auto findings = LintSource("src/storage/ec6_violation.cc",
+                                   ReadFixture("ec6_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC6"), 2) << RenderText(findings);
+  // The for-loop and while-loop retries that never charge; the
+  // ChargeRetryAttempt / AddEnergyAt loops and the marker-free sequential
+  // replay loop pass.
+  EXPECT_EQ(LinesForRule(findings, "EC6"), (std::set<int>{10, 21}));
+}
+
+TEST(EcodbLint, Ec6IsScopedToStorage) {
+  // Retry loops outside src/storage are not EC6's business (e.g. an exec
+  // operator retrying through ExecContext is governed by EC1/EC2 instead).
+  const auto findings = LintSource("src/exec/ec6_violation.cc",
+                                   ReadFixture("ec6_violation.cc"));
+  EXPECT_TRUE(LinesForRule(findings, "EC6").empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec6NolintSuppresses) {
+  const std::string src =
+      "void F(StorageDevice* d) {\n"
+      "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+      "    d->SubmitRead(0.0, 64, true);  // NOLINT-ECODB(EC6)\n"
+      "  }\n"
+      "}\n";
+  const auto findings = LintSource("src/storage/suppressed.cc", src);
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
 TEST(EcodbLint, CleanAnnotatedFixtureLintsClean) {
   const auto findings = LintSource("src/exec/clean_annotated.cc",
                                    ReadFixture("clean_annotated.cc"));
