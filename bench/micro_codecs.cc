@@ -55,6 +55,23 @@ void BM_Decode(benchmark::State& state, CompressionKind kind,
                           static_cast<int64_t>(data.size()));
 }
 
+// Reference scalar decoders (value-at-a-time, bit-at-a-time): the baseline
+// the vectorized kernels are measured against; `scripts/bench_regress.sh`
+// gates the fast/scalar ratio recorded in BENCH_engine.json.
+void BM_DecodeScalar(benchmark::State& state, CompressionKind kind,
+                     const char* pattern) {
+  auto codec = MakeReferenceInt64Codec(kind);
+  const auto data = MakeData(pattern, 64 * 1024);
+  std::vector<uint8_t> buf;
+  if (!codec->Encode(data, &buf).ok()) state.SkipWithError("encode failed");
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decode(buf, &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+
 void BM_DictionaryRoundTrip(benchmark::State& state) {
   Rng rng(9);
   std::vector<std::string> values;
@@ -78,11 +95,31 @@ BENCHMARK_CAPTURE(BM_Encode, delta_sequential, CompressionKind::kDelta,
                   "sequential");
 BENCHMARK_CAPTURE(BM_Encode, for_random20bit, CompressionKind::kFor,
                   "random");
+// The uncompressed "touch" rate anchors CpuCostProfile's decode column:
+// profiles express decode cost as a multiple of this memcpy lane.
+BENCHMARK_CAPTURE(BM_Decode, none_sequential, CompressionKind::kNone,
+                  "sequential");
 BENCHMARK_CAPTURE(BM_Decode, rle_runs, CompressionKind::kRle, "runs");
 BENCHMARK_CAPTURE(BM_Decode, delta_sequential, CompressionKind::kDelta,
                   "sequential");
 BENCHMARK_CAPTURE(BM_Decode, for_random20bit, CompressionKind::kFor,
                   "random");
+BENCHMARK_CAPTURE(BM_Decode, bitpack_sequential, CompressionKind::kBitpack,
+                  "sequential");
+BENCHMARK_CAPTURE(BM_Decode, bitpack_runs, CompressionKind::kBitpack, "runs");
+BENCHMARK_CAPTURE(BM_Decode, for_sequential, CompressionKind::kFor,
+                  "sequential");
+BENCHMARK_CAPTURE(BM_Decode, for_runs, CompressionKind::kFor, "runs");
+BENCHMARK_CAPTURE(BM_DecodeScalar, rle_runs, CompressionKind::kRle, "runs");
+BENCHMARK_CAPTURE(BM_DecodeScalar, delta_sequential, CompressionKind::kDelta,
+                  "sequential");
+BENCHMARK_CAPTURE(BM_DecodeScalar, bitpack_sequential,
+                  CompressionKind::kBitpack, "sequential");
+BENCHMARK_CAPTURE(BM_DecodeScalar, bitpack_runs, CompressionKind::kBitpack,
+                  "runs");
+BENCHMARK_CAPTURE(BM_DecodeScalar, for_sequential, CompressionKind::kFor,
+                  "sequential");
+BENCHMARK_CAPTURE(BM_DecodeScalar, for_runs, CompressionKind::kFor, "runs");
 BENCHMARK(BM_DictionaryRoundTrip);
 
 }  // namespace

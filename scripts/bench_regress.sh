@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Bench-regression gate: runs the fixed perf suite (bench/perf_regress) and
+# compares it against the committed baseline BENCH_engine.json, failing on a
+# >10% wall-time (normalized) or Joules/query regression. Also proves the
+# comparator itself trips, by re-running with an inflated-measurement
+# selftest and requiring a non-zero exit.
+#
+# Usage: scripts/bench_regress.sh [--smoke] [--write] [--no-selftest]
+#   --smoke        fewer reps + wider wall tolerance (what check.sh runs)
+#   --write        refresh BENCH_engine.json instead of checking (see
+#                  EXPERIMENTS.md for the baseline-refresh policy)
+#   --no-selftest  skip the comparator selftest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_engine.json
+bin=build/bench/perf_regress
+mode=--check
+smoke=()
+selftest=1
+
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=(--smoke) ;;
+    --write) mode=--write ;;
+    --no-selftest) selftest=0 ;;
+    *) echo "usage: $0 [--smoke] [--write] [--no-selftest]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "$bin" ]]; then
+  echo "==> $bin missing; building it"
+  cmake --preset default >/dev/null
+  cmake --build --preset default --target perf_regress -j "$(nproc 2>/dev/null || echo 2)"
+fi
+
+echo "==> perf_regress $mode ${smoke[*]:-} $baseline"
+if [[ "$mode" == --check ]]; then
+  # A real regression reproduces on every attempt; host-load noise does not.
+  # Retry up to 3 times and fail only if every attempt fails.
+  attempts=3
+  ok=0
+  for ((i = 1; i <= attempts; ++i)); do
+    if "$bin" "$mode" "${smoke[@]}" "$baseline"; then
+      ok=1
+      break
+    fi
+    echo "==> check attempt $i/$attempts failed; retrying"
+  done
+  if [[ "$ok" != 1 ]]; then
+    echo "FAIL: regression reproduced on $attempts consecutive attempts" >&2
+    exit 1
+  fi
+else
+  "$bin" "$mode" "${smoke[@]}" "$baseline"
+fi
+
+if [[ "$mode" == --check && "$selftest" == 1 ]]; then
+  # A comparator that cannot fail is not a gate: inflate measurements 2x and
+  # require the check to exit non-zero.
+  echo "==> comparator selftest (expecting failure)"
+  if ECODB_PERF_REGRESS_SELFTEST=2.0 "$bin" --check "${smoke[@]}" "$baseline" >/dev/null; then
+    echo "FAIL: comparator passed inflated measurements" >&2
+    exit 1
+  fi
+  echo "==> comparator selftest tripped as expected"
+fi
+
+echo "bench regression gate: PASS"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Full local CI sweep: default build + tests, the sanitizer matrix
-# (tsan/asan/ubsan presets), the energy-accounting linter, and — when
-# clang-tidy is installed — a clang-tidy pass over src/.
+# Full local CI sweep: default build + tests, the bench-regression smoke
+# gate, the sanitizer matrix (tsan/asan/ubsan presets), the energy-accounting
+# linter, and — when clang-tidy is installed — a clang-tidy pass over src/.
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -26,7 +26,13 @@ run cmake --preset default
 run cmake --build --preset default -j "$jobs"
 run ctest --preset default -j "$jobs"
 
-# 2. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
+# 2. Bench-regression smoke gate against the committed BENCH_engine.json.
+#    Smoke mode uses few reps and a wide wall tolerance, so on shared CI
+#    hosts it only trips on gross slowdowns (and on any Joules drift, which
+#    is deterministic at every tolerance).
+run ./scripts/bench_regress.sh --smoke
+
+# 3. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
 #    asan and ubsan run everything. The fault-injection suite (`-L faults`)
 #    then re-runs explicitly under each sanitizer so retry/degraded-mode
 #    regressions are reported by name even when a full run is noisy.
@@ -37,11 +43,11 @@ for san in tsan asan ubsan; do
   run ctest --test-dir "build-$san" -L faults --output-on-failure -j "$jobs"
 done
 
-# 3. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
+# 4. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
 #    but run it standalone so failures print the findings directly).
 run ./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt src
 
-# 4. clang-tidy, when available (the checks live in .clang-tidy).
+# 5. clang-tidy, when available (the checks live in .clang-tidy).
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
   run clang-tidy -p build "${tidy_sources[@]}"

@@ -8,6 +8,7 @@
 #ifndef ECODB_EXEC_EXPR_H_
 #define ECODB_EXEC_EXPR_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,27 @@ enum class LogicalOp { kAnd, kOr };
 
 class Expr;
 using ExprPtr = std::shared_ptr<Expr>;
+
+/// Reusable scratch buffers for the fused batch-at-a-time evaluators.
+/// Owning one in an operator lets intermediate masks/lanes be reused
+/// across batches instead of reallocating per Evaluate call. Slots are
+/// indexed by recursion depth; a deque keeps addresses stable while the
+/// pool grows mid-evaluation. Not thread-safe: use one per worker.
+class EvalScratch {
+ public:
+  std::vector<uint8_t>* Mask(size_t slot) {
+    while (masks_.size() <= slot) masks_.emplace_back();
+    return &masks_[slot];
+  }
+  ColumnData* Lane(size_t slot) {
+    while (lanes_.size() <= slot) lanes_.emplace_back();
+    return &lanes_[slot];
+  }
+
+ private:
+  std::deque<std::vector<uint8_t>> masks_;
+  std::deque<ColumnData> lanes_;
+};
 
 /// Immutable expression node.
 class Expr {
@@ -65,7 +87,21 @@ class Expr {
   StatusOr<ColumnData> Evaluate(const RecordBatch& batch) const;
 
   /// Evaluates as a selection mask (expression must be boolean-typed).
+  /// Wraps EvaluateMaskInto with a local scratch, so it stays safe to call
+  /// concurrently from worker contexts.
   StatusOr<std::vector<uint8_t>> EvaluateMask(const RecordBatch& batch) const;
+
+  /// Fused mask evaluation: compare nodes emit selection bytes directly and
+  /// AND/OR combine masks (short-circuiting the batch when the cheaper side
+  /// already decides it) — no per-node ColumnData temporaries. Output is
+  /// byte-identical to EvaluateMask; `mask` is resized to the batch.
+  Status EvaluateMaskInto(const RecordBatch& batch, EvalScratch* scratch,
+                          std::vector<uint8_t>* mask) const;
+
+  /// Fused lane evaluation into `out` (replacing its contents), reusing
+  /// `scratch` across batches. Byte-identical to Evaluate.
+  Status EvaluateInto(const RecordBatch& batch, EvalScratch* scratch,
+                      ColumnData* out) const;
 
   /// Abstract per-row instruction cost of evaluating this tree (drives the
   /// CPU energy charge; shared with the optimizer's estimates).
@@ -76,6 +112,22 @@ class Expr {
 
  private:
   Expr() = default;
+
+ public:
+  // Operand views for the fused loops (defined in expr.cc; implementation
+  // detail, public only so file-local helpers can name them).
+  struct NumView;
+  struct I64View;
+
+ private:
+  Status MaskImpl(const RecordBatch& batch, EvalScratch* scratch,
+                  size_t depth, std::vector<uint8_t>* mask) const;
+  Status NumImpl(const RecordBatch& batch, EvalScratch* scratch, size_t depth,
+                 ColumnData* out) const;
+  Status MakeNumView(const RecordBatch& batch, EvalScratch* scratch,
+                     size_t depth, int slot, NumView* view) const;
+  Status MakeI64View(const RecordBatch& batch, EvalScratch* scratch,
+                     size_t depth, int slot, I64View* view) const;
 
   ExprKind kind_ = ExprKind::kLiteral;
   std::string column_name_;

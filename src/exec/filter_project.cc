@@ -16,11 +16,13 @@ Status FilterOp::Next(RecordBatch* out, bool* eos) {
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(child_->Next(&batch, eos));
     if (*eos) return Status::OK();
+    // Charged from the static per-row cost *before* evaluation, so the
+    // fused/short-circuit strategy below cannot perturb the accounting.
     ctx_->ChargeInstructions(predicate_->InstructionsPerRow() *
                              static_cast<double>(batch.num_rows()));
-    ECODB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
-                           predicate_->EvaluateMask(batch));
-    batch.FilterInPlace(mask);
+    ECODB_RETURN_IF_ERROR(
+        predicate_->EvaluateMaskInto(batch, &scratch_, &mask_));
+    batch.FilterInPlace(mask_);
     if (batch.num_rows() > 0 || batch.empty()) {
       *out = std::move(batch);
       return Status::OK();
@@ -57,8 +59,8 @@ Status ProjectOp::Next(RecordBatch* out, bool* eos) {
   for (size_t i = 0; i < items_.size(); ++i) {
     ctx_->ChargeInstructions(items_[i].expr->InstructionsPerRow() *
                              static_cast<double>(batch.num_rows()));
-    ECODB_ASSIGN_OR_RETURN(ColumnData lane, items_[i].expr->Evaluate(batch));
-    projected.column(i) = std::move(lane);
+    ECODB_RETURN_IF_ERROR(
+        items_[i].expr->EvaluateInto(batch, &scratch_, &projected.column(i)));
   }
   ECODB_RETURN_IF_ERROR(projected.SealRows(batch.num_rows()));
   *out = std::move(projected);

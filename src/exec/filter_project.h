@@ -27,6 +27,10 @@ class FilterOp final : public Operator {
   OperatorPtr child_;
   ExprPtr predicate_;
   ExecContext* ctx_ = nullptr;
+  // Reused across batches by the fused evaluator (operator runs
+  // single-threaded, so sharing is safe).
+  EvalScratch scratch_;
+  std::vector<uint8_t> mask_;
 };
 
 /// One output column: an expression plus its name.
@@ -50,6 +54,7 @@ class ProjectOp final : public Operator {
   std::vector<ProjectionItem> items_;
   catalog::Schema schema_;
   ExecContext* ctx_ = nullptr;
+  EvalScratch scratch_;
 };
 
 }  // namespace ecodb::exec

@@ -16,6 +16,14 @@
 // Each codec reports a CpuCostProfile used by the optimizer's energy model:
 // instructions per value to encode/decode, from which the CPU power model
 // derives seconds and Joules.
+//
+// Decode is the scan hot path, so every codec ships two decoders with
+// byte-identical output: a *reference* scalar kernel (value-at-a-time,
+// bit-at-a-time — the differential-testing oracle and the calibration
+// baseline for `bench/micro_codecs`) and a *fast* kernel (word-at-a-time
+// bit unpacking with an AVX2 variant when compiled in, run-at-a-time RLE
+// materialization, group-style varint delta decode). MakeInt64Codec
+// returns the fast decoders; MakeReferenceInt64Codec the scalar ones.
 
 #ifndef ECODB_STORAGE_COMPRESSION_H_
 #define ECODB_STORAGE_COMPRESSION_H_
@@ -64,8 +72,16 @@ class Int64Codec {
                         std::vector<int64_t>* values) const = 0;
 };
 
-/// Factory. kDictionary is string-only and not valid here.
+/// Factory. kDictionary is string-only and not valid here. Returns codecs
+/// with the fast decode kernels (word-at-a-time / run-at-a-time / grouped
+/// varint); this is what the engine uses.
 std::unique_ptr<Int64Codec> MakeInt64Codec(CompressionKind kind);
+
+/// Same encoded format, but decoding uses the reference scalar kernels
+/// (value-at-a-time, bit-at-a-time). Kept as the differential-testing
+/// oracle and the `bench/micro_codecs` calibration baseline; its
+/// cost_profile() reports the pre-vectorization instruction rates.
+std::unique_ptr<Int64Codec> MakeReferenceInt64Codec(CompressionKind kind);
 
 /// Dictionary codec for string columns.
 class StringDictionaryCodec {
@@ -108,9 +124,17 @@ int BitsNeeded(uint64_t v);
 void BitpackValues(const std::vector<uint64_t>& values, int bits,
                    std::vector<uint8_t>* out);
 
-/// Inverse of BitpackValues for `count` values.
+/// Inverse of BitpackValues for `count` values. Word-at-a-time fast kernel
+/// (64-bit unaligned loads + shift/mask, AVX2 variant when compiled in);
+/// falls back to the scalar kernel on big-endian targets.
 Status BitunpackValues(const std::vector<uint8_t>& buf, size_t offset,
                        int bits, size_t count, std::vector<uint64_t>* values);
+
+/// Reference scalar unpack: one bit at a time, byte-identical output to
+/// BitunpackValues. Exposed for differential tests and calibration.
+Status BitunpackValuesScalar(const std::vector<uint8_t>& buf, size_t offset,
+                             int bits, size_t count,
+                             std::vector<uint64_t>* values);
 
 }  // namespace ecodb::storage
 
