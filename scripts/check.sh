@@ -32,22 +32,29 @@ run ctest --preset default -j "$jobs"
 #    is deterministic at every tolerance).
 run ./scripts/bench_regress.sh --smoke
 
-# 3. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
-#    asan and ubsan run everything. The fault-injection suite (`-L faults`)
-#    then re-runs explicitly under each sanitizer so retry/degraded-mode
-#    regressions are reported by name even when a full run is noisy.
+# 3. Serving-core smoke: the multi-session sweep's shape checks enforce the
+#    DESIGN §12 contract (bills conserve, consolidation saves at dense load,
+#    seeded traces replay bit-exactly) end to end.
+run ./build/bench/serving_sweep --smoke
+
+# 4. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
+#    asan and ubsan run everything. The fault-injection and serving suites
+#    (`-L 'faults|serving'`) then re-run explicitly under each sanitizer so
+#    retry/degraded-mode and admission regressions are reported by name even
+#    when a full run is noisy.
 for san in tsan asan ubsan; do
   run cmake --preset "$san"
   run cmake --build --preset "$san" -j "$jobs"
   run ctest --preset "$san" -j "$jobs"
-  run ctest --test-dir "build-$san" -L faults --output-on-failure -j "$jobs"
+  run ctest --test-dir "build-$san" -L 'faults|serving' --output-on-failure \
+      -j "$jobs"
 done
 
-# 4. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
+# 5. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
 #    but run it standalone so failures print the findings directly).
 run ./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt src
 
-# 5. clang-tidy, when available (the checks live in .clang-tidy).
+# 6. clang-tidy, when available (the checks live in .clang-tidy).
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
   run clang-tidy -p build "${tidy_sources[@]}"

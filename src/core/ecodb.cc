@@ -196,6 +196,13 @@ StatusOr<QueryOutcome> EcoDb::Run(exec::Operator* root) {
   return outcome;
 }
 
+StatusOr<sched::ServingReport> EcoDb::Serve(
+    const sim::ArrivalTrace& trace, const sched::ServingConfig& config,
+    const sched::SessionManager::QueryFactory& factory) {
+  sched::SessionManager manager(platform_.get(), config);
+  return manager.Serve(trace, factory);
+}
+
 StatusOr<storage::TableStorage*> EcoDb::table(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no table " + name);

@@ -24,6 +24,8 @@
 #include "exec/operator.h"
 #include "optimizer/planner.h"
 #include "power/platform.h"
+#include "sched/session.h"
+#include "sim/arrival_trace.h"
 #include "storage/btree.h"
 #include "storage/disk_array.h"
 #include "storage/fault_injector.h"
@@ -122,6 +124,16 @@ class EcoDb {
 
   /// Executes a hand-built operator tree (bypassing the planner).
   StatusOr<QueryOutcome> Run(exec::Operator* root);
+
+  // --- Serving -----------------------------------------------------------
+
+  /// Admits a seeded arrival trace of many concurrent sessions onto this
+  /// instance's shared platform and returns the per-session / per-tenant
+  /// energy bills (DESIGN.md §12). The admission schedule and the bills are
+  /// pure functions of (trace, config): replays are bit-identical.
+  StatusOr<sched::ServingReport> Serve(
+      const sim::ArrivalTrace& trace, const sched::ServingConfig& config,
+      const sched::SessionManager::QueryFactory& factory);
 
   // --- Introspection -----------------------------------------------------
 

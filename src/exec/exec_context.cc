@@ -12,10 +12,20 @@ namespace ecodb::exec {
 
 ExecContext::ExecContext(power::HardwarePlatform* platform,
                          ExecOptions options)
-    : platform_(platform), options_(options) {
+    : ExecContext(platform, options, SessionTag{},
+                  platform->clock()->now()) {}
+
+ExecContext::ExecContext(power::HardwarePlatform* platform,
+                         ExecOptions options, SessionTag session,
+                         double start_time)
+    : platform_(platform), options_(options), session_(session) {
   assert(options_.dop >= 1);
   assert(options_.pstate >= 0 &&
          options_.pstate < platform_->cpu().num_pstates());
+  // Admission pins the start: the serving core constructs the context at
+  // the admit instant, which may lie ahead of the clock (the clock is the
+  // accounting layer's to move — this constructor IS that layer).
+  platform_->clock()->AdvanceTo(start_time);  // NOLINT-ECODB(EC1)
   start_time_ = platform_->clock()->now();
   io_completion_ = start_time_;
   start_snapshot_ = platform_->meter()->Snapshot();  // NOLINT-ECODB(EC1)
@@ -39,6 +49,7 @@ Status ExecContext::ChargeRead(storage::StorageDevice* device, uint64_t bytes,
   io_completion_ = std::max(io_completion_, r.completion_time);
   io_service_seconds_ += r.service_seconds;
   io_bytes_ += bytes;
+  io_active_joules_ += r.active_joules;
   faults_.Accumulate(r);
   return Status::OK();
 }
@@ -51,12 +62,31 @@ Status ExecContext::ChargeWrite(storage::StorageDevice* device, uint64_t bytes,
   io_completion_ = std::max(io_completion_, r.completion_time);
   io_service_seconds_ += r.service_seconds;
   io_bytes_ += bytes;
+  io_active_joules_ += r.active_joules;
   faults_.Accumulate(r);
   return Status::OK();
 }
 
 void ExecContext::ChargeDram(uint64_t bytes) {
-  platform_->ChargeDramAccess(bytes);  // NOLINT-ECODB(EC1)
+  dram_joules_ += platform_->ChargeDramAccess(bytes);  // NOLINT-ECODB(EC1)
+}
+
+void ExecContext::StageSharedScan(const storage::TableStorage* table,
+                                  double ready_time) {
+  staged_scans_[table] = ready_time;
+}
+
+bool ExecContext::ConsumeSharedScan(const storage::TableStorage* table,
+                                    double* ready_time) {
+  auto it = staged_scans_.find(table);
+  if (it == staged_scans_.end()) return false;
+  *ready_time = it->second;
+  staged_scans_.erase(it);
+  return true;
+}
+
+void ExecContext::JoinIoCompletion(double completion_time) {
+  io_completion_ = std::max(io_completion_, completion_time);
 }
 
 void ExecContext::MergeWork(const WorkAccumulator& acc) {
@@ -66,6 +96,7 @@ void ExecContext::MergeWork(const WorkAccumulator& acc) {
 }
 
 WorkerPool* ExecContext::worker_pool() {
+  if (shared_pool_ != nullptr) return shared_pool_;
   if (pool_ == nullptr) {
     pool_ = std::make_unique<WorkerPool>(
         std::min(options_.dop, platform_->cpu().total_cores()));
@@ -82,7 +113,7 @@ double ExecContext::CpuElapsedSeconds() const {
   return serial_seconds + parallel_seconds / static_cast<double>(cores);
 }
 
-QueryStats ExecContext::Finish() {
+QueryStats ExecContext::Complete() {
   assert(!finished_);
   finished_ = true;
 
@@ -102,11 +133,6 @@ QueryStats ExecContext::Finish() {
   const double end_time =
       std::max(start_time_ + cpu_elapsed, io_completion_);
 
-  // CPU active energy settles at query end.
-  platform_->ChargeCpuCoresAt(end_time, cpu_core_seconds,  // NOLINT-ECODB(EC1)
-                              active_cores, options_.pstate);
-  platform_->clock()->AdvanceTo(end_time);  // NOLINT-ECODB(EC1)
-
   QueryStats stats;
   stats.start_time = start_time_;
   stats.end_time = end_time;
@@ -120,6 +146,25 @@ QueryStats ExecContext::Finish() {
   stats.io_bytes = io_bytes_;
   stats.rows_emitted = rows_emitted_;
   stats.faults = faults_;
+  stats.session = session_;
+  stats.dram_joules = dram_joules_;
+  stats.io_active_joules = io_active_joules_;
+  return stats;
+}
+
+void ExecContext::SettleCpu(QueryStats* stats) {
+  // CPU active energy settles at query end. The serving core settles its
+  // sessions in end-time order so the CPU channel's pulses stay monotonic.
+  stats->cpu_active_joules =
+      platform_->ChargeCpuCoresAt(stats->end_time,  // NOLINT-ECODB(EC1)
+                                  stats->cpu_seconds, stats->active_cores,
+                                  options_.pstate);
+}
+
+QueryStats ExecContext::Finish() {
+  QueryStats stats = Complete();
+  SettleCpu(&stats);
+  platform_->clock()->AdvanceTo(stats.end_time);  // NOLINT-ECODB(EC1)
   stats.energy = platform_->BreakdownBetween(
       start_snapshot_, platform_->meter()->Snapshot());  // NOLINT-ECODB(EC1)
   return stats;

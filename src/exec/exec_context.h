@@ -11,6 +11,7 @@
 #define ECODB_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,10 @@
 #include "power/platform.h"
 #include "storage/device.h"
 #include "util/status.h"
+
+namespace ecodb::storage {
+class TableStorage;  // shared-scan waivers key on the table identity only
+}  // namespace ecodb::storage
 
 namespace ecodb::exec {
 
@@ -76,6 +81,16 @@ struct FaultSummary {
   }
 };
 
+/// Identity of the serving-core session a query runs under. Every charge an
+/// ExecContext books is attributable to this tag, which is what makes the
+/// per-tenant energy bill possible (DESIGN.md §12). Outside the serving
+/// core the tag stays invalid and nothing changes.
+struct SessionTag {
+  int64_t session_id = -1;
+  int tenant_id = -1;
+  bool valid() const { return session_id >= 0; }
+};
+
 /// Measured resource use of one query.
 struct QueryStats {
   double start_time = 0.0;
@@ -93,6 +108,22 @@ struct QueryStats {
   uint64_t rows_emitted = 0;
   power::EnergyBreakdown energy;  // per-channel Joules over the query window
   FaultSummary faults;            // retry/degraded-mode cost of this query
+  SessionTag session;             // serving attribution (invalid outside it)
+
+  // --- Directly attributable Joules (meter pulses this query caused) ---
+  double cpu_active_joules = 0.0;  // CPU settlement pulse (0 until settled)
+  double dram_joules = 0.0;        // DRAM traffic pulses
+  double io_active_joules = 0.0;   // device pulses, failed attempts included
+
+  /// Pulses the query provably placed on the meter: CPU + DRAM + device
+  /// active energy + XOR reconstruction. Excludes background/idle power
+  /// (apportioned by the serving core) and excludes faults.retry_joules,
+  /// which is an estimate already covered by the real failed-attempt pulses
+  /// inside io_active_joules.
+  double DirectJoules() const {
+    return cpu_active_joules + dram_joules + io_active_joules +
+           faults.reconstruct_joules;
+  }
 
   double Joules() const { return energy.it_joules; }
   /// Energy efficiency in the paper's sense: rows of useful output per
@@ -108,8 +139,17 @@ class ExecContext {
   /// and pins the query start time.
   ExecContext(power::HardwarePlatform* platform, ExecOptions options);
 
+  /// Serving-core constructor: binds the charge stream to `session` and
+  /// pins the query start to `start_time` (the admission instant; the
+  /// simulated clock is advanced there if it lags). Only the SessionManager
+  /// constructs contexts this way — ecodb-lint rule EC7 enforces that
+  /// serving paths never build an anonymous context.
+  ExecContext(power::HardwarePlatform* platform, ExecOptions options,
+              SessionTag session, double start_time);
+
   const ExecOptions& options() const { return options_; }
   power::HardwarePlatform* platform() { return platform_; }
+  const SessionTag& session() const { return session_; }
 
   /// Records `instructions` of CPU work (parallelizable across dop cores).
   void ChargeInstructions(double instructions);
@@ -146,6 +186,33 @@ class ExecContext {
   /// lazily on first use; dop 1 never spawns a thread.
   WorkerPool* worker_pool();
 
+  /// Serving core: reuse one fleet-owned WorkerPool across sessions instead
+  /// of spawning per-query threads. Charges are unaffected (all modeled
+  /// work is computed from dop-invariant totals); only thread reuse changes.
+  void UseSharedWorkerPool(WorkerPool* pool) { shared_pool_ = pool; }
+
+  // --- Shared-scan waivers (work sharing across sessions) ---------------
+
+  /// Registers a waiver: this query's scan of `table` rides another
+  /// session's device transfer that is ready at `ready_time`. The table
+  /// scan consumes the waiver instead of charging the device; the paying
+  /// session billed the transfer through its own context.
+  void StageSharedScan(const storage::TableStorage* table, double ready_time);
+
+  /// Consumes a staged waiver for `table` if present; `*ready_time` gets
+  /// the shared transfer's availability instant. Returns false (leaving
+  /// `ready_time` untouched) when the scan must pay its own way.
+  bool ConsumeSharedScan(const storage::TableStorage* table,
+                         double* ready_time);
+
+  /// Joins an externally produced data-availability instant into the
+  /// query's I/O critical path (used by consumed shared-scan waivers).
+  void JoinIoCompletion(double completion_time);
+
+  /// Latest I/O completion observed so far (valid any time; the serving
+  /// core reports it as the shared transfer's completion).
+  double io_completion() const { return io_completion_; }
+
   /// Elapsed CPU wall-seconds implied by the charged instructions at the
   /// configured dop/P-state: serial charges do not divide by the core
   /// count.
@@ -153,11 +220,24 @@ class ExecContext {
 
   /// Ends the query: advances the clock to the critical-path completion,
   /// settles CPU energy, and returns the stats (meter delta included).
+  /// Equivalent to Complete() + SettleCpu() + clock advance + meter delta.
   QueryStats Finish();
+
+  /// Serving-core split of Finish(): computes the stats (critical path, end
+  /// time, direct DRAM/I-O Joules) WITHOUT touching the meter or the clock.
+  /// The SessionManager completes overlapping sessions as they run, then
+  /// settles their CPU pulses in end-time order so the meter's per-channel
+  /// monotonicity holds.
+  QueryStats Complete();
+
+  /// Books the CPU settlement pulse for a Complete()d query and records the
+  /// charged Joules in stats->cpu_active_joules.
+  void SettleCpu(QueryStats* stats);
 
  private:
   power::HardwarePlatform* platform_;
   ExecOptions options_;
+  SessionTag session_;
   double start_time_;
   power::MeterSnapshot start_snapshot_;
   double cpu_instructions_ = 0.0;
@@ -165,9 +245,13 @@ class ExecContext {
   double io_completion_ = 0.0;
   double io_service_seconds_ = 0.0;
   uint64_t io_bytes_ = 0;
+  double dram_joules_ = 0.0;
+  double io_active_joules_ = 0.0;
   FaultSummary faults_;
   uint64_t rows_emitted_ = 0;
+  std::map<const storage::TableStorage*, double> staged_scans_;
   std::unique_ptr<WorkerPool> pool_;
+  WorkerPool* shared_pool_ = nullptr;
   bool finished_ = false;
 };
 

@@ -249,7 +249,13 @@ Status TableScanOp::Open(ExecContext* ctx) {
   // format allows it).
   const uint64_t bytes =
       ScanTransferBytes(*table_, column_indexes_, pruning.selected_fraction);
-  if (bytes > 0 && table_->device() != nullptr) {
+  double shared_ready = 0.0;
+  if (ctx->ConsumeSharedScan(table_, &shared_ready)) {
+    // This scan rides another session's in-window transfer of the same
+    // table: the paying session billed the device; this query only waits
+    // for the shared data to become available.
+    ctx->JoinIoCompletion(shared_ready);
+  } else if (bytes > 0 && table_->device() != nullptr) {
     ECODB_RETURN_IF_ERROR(
         ctx->ChargeRead(table_->device(), bytes, /*sequential=*/true));
   }

@@ -18,13 +18,13 @@ HardwarePlatform::HardwarePlatform(CpuSpec cpu, DramSpec dram,
   chassis_channel_ = meter_.RegisterChannel("chassis", chassis_.base_watts);
 }
 
-void HardwarePlatform::ChargeCpuAt(double t_end, double core_seconds,
-                                   int pstate) {
-  ChargeCpuCoresAt(t_end, core_seconds, /*active_cores=*/1, pstate);
+double HardwarePlatform::ChargeCpuAt(double t_end, double core_seconds,
+                                     int pstate) {
+  return ChargeCpuCoresAt(t_end, core_seconds, /*active_cores=*/1, pstate);
 }
 
-void HardwarePlatform::ChargeCpuCoresAt(double t_end, double core_seconds,
-                                        int active_cores, int pstate) {
+double HardwarePlatform::ChargeCpuCoresAt(double t_end, double core_seconds,
+                                          int active_cores, int pstate) {
   assert(core_seconds >= 0);
   assert(active_cores >= 1);
   const int cores = std::min(active_cores, cpu_.total_cores());
@@ -32,11 +32,14 @@ void HardwarePlatform::ChargeCpuCoresAt(double t_end, double core_seconds,
       cpu_.spec().pstates[pstate].core_active_watts * core_seconds +
       cpu_.spec().core_wake_joules * static_cast<double>(cores - 1);
   meter_.AddEnergyAt(cpu_channel_, t_end, joules, core_seconds);
+  return joules;
 }
 
-void HardwarePlatform::ChargeDramAccess(uint64_t bytes) {
-  meter_.AddEnergy(dram_channel_,
-                   dram_.access_joules_per_byte * static_cast<double>(bytes));
+double HardwarePlatform::ChargeDramAccess(uint64_t bytes) {
+  const double joules =
+      dram_.access_joules_per_byte * static_cast<double>(bytes);
+  meter_.AddEnergy(dram_channel_, joules);
+  return joules;
 }
 
 void HardwarePlatform::SetActiveTraysAt(double t, int trays) {

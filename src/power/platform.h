@@ -81,8 +81,9 @@ class HardwarePlatform {
   /// Charges `core_seconds` of fully-busy core time ending at time `t_end`
   /// at P-state `pstate`; energy above the idle floor is attributed as a
   /// pulse (the floor runs continuously on the channel). Equivalent to
-  /// ChargeCpuCoresAt with one active core.
-  void ChargeCpuAt(double t_end, double core_seconds, int pstate = 0);
+  /// ChargeCpuCoresAt with one active core. Returns the Joules booked so
+  /// callers (the serving core's tenant bills) can attribute the charge.
+  double ChargeCpuAt(double t_end, double core_seconds, int pstate = 0);
 
   /// Multi-core settlement: the same `core_seconds` of busy core time split
   /// across `active_cores` concurrently-running cores (clamped to the
@@ -90,12 +91,13 @@ class HardwarePlatform {
   /// the single-core charge — parallelism shortens the wall-clock window,
   /// it does not discount work — plus a per-extra-core wake pulse when the
   /// spec prices one. Race-to-idle stays observable because the shorter
-  /// window accrues less background/idle energy.
-  void ChargeCpuCoresAt(double t_end, double core_seconds, int active_cores,
-                        int pstate = 0);
+  /// window accrues less background/idle energy. Returns the Joules booked.
+  double ChargeCpuCoresAt(double t_end, double core_seconds, int active_cores,
+                          int pstate = 0);
 
-  /// Charges a DRAM traffic pulse of `bytes` at the current time.
-  void ChargeDramAccess(uint64_t bytes);
+  /// Charges a DRAM traffic pulse of `bytes` at the current time. Returns
+  /// the Joules booked.
+  double ChargeDramAccess(uint64_t bytes);
 
   /// Declares the number of populated disk trays; tray electronics draw
   /// continuous power on the chassis channel from time `t` onward.

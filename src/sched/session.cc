@@ -1,0 +1,274 @@
+#include "sched/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "exec/scan.h"
+#include "exec/worker_pool.h"
+#include "sim/event_queue.h"
+
+namespace ecodb::sched {
+
+namespace {
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+/// Release order out of the admission gate: priority class first (0 = most
+/// urgent), then trace order. Total order -> deterministic admission.
+struct ReadyKey {
+  int priority = 0;
+  uint64_t index = 0;
+  bool operator<(const ReadyKey& o) const {
+    if (priority != o.priority) return priority < o.priority;
+    return index < o.index;
+  }
+};
+
+}  // namespace
+
+SessionManager::SessionManager(power::HardwarePlatform* platform,
+                               ServingConfig config)
+    : platform_(platform), config_(config) {
+  assert(config_.worker_fleet >= 1);
+}
+
+StatusOr<ServingReport> SessionManager::Serve(const sim::ArrivalTrace& trace,
+                                              const QueryFactory& factory) {
+  sim::SimClock* clock = platform_->clock();
+  const double t0 = clock->now();
+  const power::MeterSnapshot window_start =
+      platform_->meter()->Snapshot();  // NOLINT-ECODB(EC1)
+
+  sim::EventQueue events(clock);
+  BatchingScheduler gate(&events, config_.batching);
+  std::unique_ptr<SharedScanManager> sharing;
+  if (config_.share_window_s > 0.0) {
+    sharing =
+        std::make_unique<SharedScanManager>(clock, config_.share_window_s);
+  }
+  // One fleet-owned pool reused by every session; a dop-1 pool spawns no
+  // threads, so the single-slot configuration stays serial and cheap.
+  exec::WorkerPool fleet(
+      std::min(config_.exec_options.dop, platform_->cpu().total_cores()));
+
+  // Arrivals flow trace event -> admission gate -> ready set. The gate may
+  // consolidate releases in time (batching); within a release the ready set
+  // orders by priority class, then trace order.
+  std::set<ReadyKey> ready;
+  for (const sim::TraceRequest& req : trace.requests) {
+    events.ScheduleAt(t0 + req.arrival_s, [&gate, &ready, &req, clock] {
+      gate.Submit([&ready, &req, clock] {
+        ready.insert(ReadyKey{req.priority, req.index});
+        // Release is instantaneous; the session bills its own work later.
+        return clock->now();
+      });
+    });
+  }
+
+  struct Admission {
+    const sim::TraceRequest* req = nullptr;
+    double admit_s = 0.0;
+    exec::QueryStats stats;
+    bool shared_scan = false;
+    std::unique_ptr<exec::ExecContext> ctx;
+  };
+  std::vector<Admission> admissions;
+  admissions.reserve(trace.requests.size());
+
+  // The fixed fleet: each slot runs one session at a time; a session takes
+  // the earliest-free slot. Admissions therefore proceed in nondecreasing
+  // admit-time order, which keeps every meter channel's event timeline
+  // monotonic (devices additionally serialize on their own busy horizon).
+  std::vector<double> slot_free(static_cast<size_t>(config_.worker_fleet), t0);
+
+  while (admissions.size() < trace.requests.size()) {
+    size_t slot = 0;
+    for (size_t s = 1; s < slot_free.size(); ++s) {
+      if (slot_free[s] < slot_free[slot]) slot = s;
+    }
+    events.RunUntil(std::max(slot_free[slot], clock->now()));
+    if (ready.empty()) {
+      // Nothing released yet: fast-forward to the next arrival/gate event.
+      const double t_next = events.NextEventTime(-1.0);
+      if (t_next < 0.0) {
+        return Status::Internal(
+            "serving stalled: requests remain but no arrival or gate event "
+            "is pending");
+      }
+      events.RunUntil(t_next);
+      continue;
+    }
+    const ReadyKey key = *ready.begin();
+    ready.erase(ready.begin());
+    const sim::TraceRequest& req = trace.requests[key.index];
+
+    Admission adm;
+    adm.req = &req;
+    adm.admit_s = std::max(slot_free[slot], clock->now());
+
+    // Every serving-path context carries the session identity (rule EC7):
+    // anonymous contexts cannot be billed.
+    adm.ctx = std::make_unique<exec::ExecContext>(
+        platform_, config_.exec_options,
+        exec::SessionTag{static_cast<int64_t>(req.index), req.tenant_id},
+        adm.admit_s);
+    adm.ctx->UseSharedWorkerPool(&fleet);
+
+    ECODB_ASSIGN_OR_RETURN(PlannedQuery pq, factory(req));
+    std::vector<const storage::TableStorage*> owned_tables;
+    if (sharing != nullptr) {
+      for (const ScanRequest& scan : pq.scans) {
+        if (scan.table == nullptr) continue;
+        ECODB_ASSIGN_OR_RETURN(const ScanTicket ticket,
+                               sharing->AdmitScan(*scan.table, scan.columns));
+        if (ticket.shared) {
+          adm.ctx->StageSharedScan(scan.table, ticket.ready_time);
+          adm.shared_scan = true;
+        } else {
+          owned_tables.push_back(scan.table);
+        }
+      }
+    }
+
+    ECODB_ASSIGN_OR_RETURN(exec::QueryResultSet rows,
+                           exec::CollectAll(pq.root.get(), adm.ctx.get()));
+    (void)rows;  // rows are computed for real; the bill is the deliverable
+    adm.stats = adm.ctx->Complete();
+    for (const storage::TableStorage* table : owned_tables) {
+      // This session paid for the transfer; followers inside the share
+      // window wait for its real completion.
+      sharing->CompleteTransfer(*table, adm.ctx->io_completion());
+    }
+    slot_free[slot] = adm.stats.end_time;
+    admissions.push_back(std::move(adm));
+  }
+
+  // Drain leftover gate timers (they dispatch empty queues).
+  events.RunAll();
+
+  // Settle CPU pulses in completion order: during serving the CPU channel
+  // receives only these settlement pulses, so ordering by end time keeps
+  // its event timeline monotonic even though sessions overlap.
+  std::vector<size_t> settle_order(admissions.size());
+  for (size_t i = 0; i < settle_order.size(); ++i) settle_order[i] = i;
+  std::sort(settle_order.begin(), settle_order.end(), [&](size_t a, size_t b) {
+    if (admissions[a].stats.end_time != admissions[b].stats.end_time) {
+      return admissions[a].stats.end_time < admissions[b].stats.end_time;
+    }
+    return a < b;
+  });
+  double horizon = clock->now();
+  for (size_t i : settle_order) {
+    admissions[i].ctx->SettleCpu(&admissions[i].stats);
+    horizon = std::max(horizon, admissions[i].stats.end_time);
+  }
+  // Close the window at the last completion so background power accrues
+  // over the full serving interval.
+  clock->AdvanceTo(horizon);  // NOLINT-ECODB(EC1)
+
+  ServingReport report;
+  report.window_start_s = t0;
+  report.window_end_s = clock->now();
+  report.energy = platform_->BreakdownBetween(
+      window_start, platform_->meter()->Snapshot());  // NOLINT-ECODB(EC1)
+  report.total_joules = report.energy.it_joules;
+
+  // Background residual: whatever the meter integrated beyond the direct
+  // pulses (idle floors, chassis, DRAM refresh). Apportioned by in-flight
+  // seconds; the float remainder folds into the last-settled session so
+  // billed == metered exactly.
+  double direct_total = 0.0;
+  double weight_total = 0.0;
+  for (const Admission& adm : admissions) {
+    direct_total += adm.stats.DirectJoules();
+    weight_total += adm.stats.elapsed_seconds;
+  }
+  const double residual = report.total_joules - direct_total;
+  std::vector<double> background(admissions.size(), 0.0);
+  double apportioned = 0.0;
+  for (size_t k = 0; k < settle_order.size(); ++k) {
+    const size_t i = settle_order[k];
+    if (k + 1 == settle_order.size()) {
+      background[i] = residual - apportioned;
+    } else {
+      const double share =
+          weight_total > 0.0
+              ? residual * admissions[i].stats.elapsed_seconds / weight_total
+              : residual / static_cast<double>(admissions.size());
+      background[i] = share;
+      apportioned += share;
+    }
+  }
+
+  report.sessions.reserve(admissions.size());
+  std::map<int, TenantBill> tenants;
+  uint64_t fp = 1469598103934665603ULL;
+  for (size_t i = 0; i < admissions.size(); ++i) {
+    const Admission& adm = admissions[i];
+    SessionBill bill;
+    bill.session_id = adm.req->index;
+    bill.tenant_id = adm.req->tenant_id;
+    bill.priority = adm.req->priority;
+    bill.query_class = adm.req->query_class;
+    bill.arrival_s = t0 + adm.req->arrival_s;
+    bill.admit_s = adm.admit_s;
+    bill.end_s = adm.stats.end_time;
+    bill.queue_seconds = bill.admit_s - bill.arrival_s;
+    bill.cpu_joules = adm.stats.cpu_active_joules;
+    bill.dram_joules = adm.stats.dram_joules;
+    bill.io_joules = adm.stats.io_active_joules;
+    bill.fault_joules = adm.stats.faults.reconstruct_joules;
+    bill.background_joules = background[i];
+    bill.retry_joules = adm.stats.faults.retry_joules;
+    bill.transient_errors = adm.stats.faults.transient_errors;
+    bill.degraded_reads = adm.stats.faults.degraded_reads;
+    bill.rows_emitted = adm.stats.rows_emitted;
+    bill.shared_scan = adm.shared_scan;
+
+    fp = Fnv1a(fp, bill.session_id);
+    fp = Fnv1a(fp, static_cast<uint64_t>(static_cast<int64_t>(bill.tenant_id)));
+    fp = Fnv1a(fp, DoubleBits(bill.admit_s));
+    fp = Fnv1a(fp, DoubleBits(bill.end_s));
+
+    TenantBill& tb = tenants[bill.tenant_id];
+    tb.tenant_id = bill.tenant_id;
+    ++tb.sessions;
+    tb.rows_emitted += bill.rows_emitted;
+    tb.queue_seconds += bill.queue_seconds;
+    tb.cpu_joules += bill.cpu_joules;
+    tb.dram_joules += bill.dram_joules;
+    tb.io_joules += bill.io_joules;
+    tb.fault_joules += bill.fault_joules;
+    tb.background_joules += bill.background_joules;
+
+    report.billed_joules += bill.TotalJoules();
+    report.sessions.push_back(bill);
+  }
+  report.admission_fingerprint = fp;
+  for (const auto& [id, tb] : tenants) {
+    (void)id;
+    report.tenants.push_back(tb);
+  }
+  if (sharing != nullptr) report.shared_scans = sharing->stats();
+  report.batches_dispatched = gate.batches_dispatched();
+  return report;
+}
+
+}  // namespace ecodb::sched

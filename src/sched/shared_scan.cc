@@ -8,7 +8,7 @@ SharedScanManager::SharedScanManager(sim::SimClock* clock,
                                      double share_window_s)
     : clock_(clock), share_window_s_(share_window_s) {}
 
-StatusOr<ScanTicket> SharedScanManager::RequestScan(
+StatusOr<ScanTicket> SharedScanManager::AdmitScan(
     const storage::TableStorage& table, std::vector<int> column_indexes) {
   ++stats_.scans_requested;
   if (column_indexes.empty()) {
@@ -34,30 +34,55 @@ StatusOr<ScanTicket> SharedScanManager::RequestScan(
     }
   }
 
-  // New transfer: read the union of this request's columns.
+  // New transfer: the caller pays for the union of this request's columns
+  // and reports the real completion via CompleteTransfer(). Until then
+  // followers see completion == start, which is only reachable by requests
+  // admitted at the same instant (they share the payer's data anyway).
   const uint64_t bytes = table.ScanBytes(column_indexes);
   Transfer t;
   t.start_time = now;
   t.columns = needed;
   t.bytes = bytes;
-  double completion = now;
-  if (table.device() != nullptr && bytes > 0) {
-    // The shared-scan manager issues one device transfer on behalf of all
-    // attached readers; it runs outside any single query's ExecContext.
-    ECODB_ASSIGN_OR_RETURN(
-        const storage::IoResult io,
-        table.device()->SubmitRead(now, bytes,  // NOLINT-ECODB(EC1)
-                                   /*sequential=*/true));
-    completion = io.completion_time;
-  }
-  t.completion_time = completion;
+  t.completion_time = now;
   last_transfer_[&table] = std::move(t);
   ++stats_.device_transfers;
   stats_.bytes_transferred += bytes;
 
   ScanTicket ticket;
-  ticket.ready_time = completion;
+  ticket.ready_time = now;
   ticket.shared = false;
+  return ticket;
+}
+
+void SharedScanManager::CompleteTransfer(const storage::TableStorage& table,
+                                         double completion_time) {
+  auto it = last_transfer_.find(&table);
+  if (it == last_transfer_.end()) return;
+  it->second.completion_time =
+      std::max(it->second.completion_time, completion_time);
+}
+
+StatusOr<ScanTicket> SharedScanManager::RequestScan(
+    const storage::TableStorage& table, std::vector<int> column_indexes) {
+  ECODB_ASSIGN_OR_RETURN(ScanTicket ticket,
+                         AdmitScan(table, std::move(column_indexes)));
+  if (ticket.shared) return ticket;
+
+  // Legacy self-contained path: the manager itself issues the transfer on
+  // behalf of all attached readers; it runs outside any single query's
+  // ExecContext.
+  auto it = last_transfer_.find(&table);
+  const uint64_t bytes = it->second.bytes;
+  double completion = clock_->now();
+  if (table.device() != nullptr && bytes > 0) {
+    ECODB_ASSIGN_OR_RETURN(
+        const storage::IoResult io,
+        table.device()->SubmitRead(completion, bytes,  // NOLINT-ECODB(EC1)
+                                   /*sequential=*/true));
+    completion = io.completion_time;
+  }
+  it->second.completion_time = completion;
+  ticket.ready_time = completion;
   return ticket;
 }
 

@@ -55,6 +55,20 @@ class SharedScanManager {
   StatusOr<ScanTicket> RequestScan(const storage::TableStorage& table,
                                    std::vector<int> column_indexes);
 
+  /// Decision-only variant for the serving core: decides whether this scan
+  /// piggybacks on the last in-window transfer of `table`, but does NOT
+  /// submit any device I/O itself. A non-shared ticket means the caller is
+  /// the payer — it must bill the transfer through its own session context
+  /// and then report the transfer's completion via CompleteTransfer(), so
+  /// followers within the window wait for the real data-ready instant.
+  StatusOr<ScanTicket> AdmitScan(const storage::TableStorage& table,
+                                 std::vector<int> column_indexes);
+
+  /// Records the completion time of the transfer a non-shared AdmitScan()
+  /// registered (the payer's device I/O, billed through its ExecContext).
+  void CompleteTransfer(const storage::TableStorage& table,
+                        double completion_time);
+
   const SharedScanStats& stats() const { return stats_; }
 
  private:

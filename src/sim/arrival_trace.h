@@ -1,0 +1,55 @@
+// Seeded multi-tenant arrival traces for the serving core.
+//
+// The admission schedule of the serving core must be a pure function of
+// (seed, arrival trace): the trace is generated up front from an
+// ArrivalTraceSpec by a deterministic Rng, so the same spec reproduces the
+// same request stream — arrival times, tenants, priorities, query shapes —
+// bit-identically on every platform. Traces can also be hand-built (tests
+// construct pathological orderings directly).
+
+#ifndef ECODB_SIM_ARRIVAL_TRACE_H_
+#define ECODB_SIM_ARRIVAL_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecodb::sim {
+
+/// One query arrival. `index` is the request's position in the trace and
+/// doubles as the session id and the admission tiebreaker.
+struct TraceRequest {
+  uint64_t index = 0;
+  double arrival_s = 0.0;  // offset from the serving window start
+  int tenant_id = 0;
+  int priority = 0;        // 0 = most urgent
+  int query_class = 0;     // workload-defined shape selector
+  int64_t param = 0;       // shape parameter (TPC-H-style substitution)
+};
+
+/// Generator knobs. Interarrival gaps are exponential (Poisson arrivals);
+/// tenants draw Zipf-skewed so heavy tenants emerge at theta > 0.
+struct ArrivalTraceSpec {
+  uint64_t seed = 1;
+  int tenants = 4;
+  size_t requests = 64;
+  double mean_interarrival_s = 1.0;
+  double tenant_skew_theta = 0.0;  // 0 = uniform tenant draw
+  int priority_classes = 1;
+  int query_classes = 3;
+  int param_classes = 8;  // substitution rotation modulus
+};
+
+struct ArrivalTrace {
+  ArrivalTraceSpec spec;
+  std::vector<TraceRequest> requests;  // nondecreasing arrival_s
+
+  /// FNV-1a over every request's fields; replay identity in one number.
+  uint64_t Fingerprint() const;
+};
+
+ArrivalTrace GenerateArrivalTrace(const ArrivalTraceSpec& spec);
+
+}  // namespace ecodb::sim
+
+#endif  // ECODB_SIM_ARRIVAL_TRACE_H_

@@ -44,6 +44,16 @@ size_t EventQueue::RunUntil(double t_end) {
   return executed;
 }
 
+double EventQueue::NextEventTime(double fallback) {
+  while (!heap_.empty() && IsCancelled(heap_.top().seq)) {
+    cancelled_.erase(
+        std::remove(cancelled_.begin(), cancelled_.end(), heap_.top().seq),
+        cancelled_.end());
+    heap_.pop();
+  }
+  return heap_.empty() ? fallback : heap_.top().time;
+}
+
 size_t EventQueue::RunAll() {
   size_t executed = 0;
   while (!heap_.empty()) {

@@ -48,6 +48,10 @@ class EventQueue {
   /// Runs until the queue drains entirely.
   size_t RunAll();
 
+  /// Timestamp of the next live event, or `fallback` when none is pending.
+  /// Pops cancelled events off the heap top; does not run anything.
+  double NextEventTime(double fallback);
+
   bool empty() const { return live_count_ == 0; }
   size_t pending() const { return live_count_; }
   SimClock* clock() const { return clock_; }

@@ -28,6 +28,13 @@ struct IoResult {
   double start_time = 0.0;       // when the device began servicing
   double completion_time = 0.0;  // when the data was fully transferred
   double service_seconds = 0.0;  // completion - start
+  /// Active-energy pulses this request booked on the meter, summed across
+  /// every layer and every attempt (leaf transfers, NIC streaming, failed
+  /// retries that really occupied the device). Lets the serving core bill
+  /// device energy to the session that submitted the I/O; background/idle
+  /// levels and spin-up pulses are intentionally excluded (they belong to
+  /// the shared window, not to one request).
+  double active_joules = 0.0;
 
   // --- Fault accounting (zero on the happy path) ---
   uint32_t transient_errors = 0;       // retried-then-succeeded attempts
@@ -40,6 +47,7 @@ struct IoResult {
   /// Folds another result's fault counters into this one (timeline fields
   /// are left to the caller, which knows the composition semantics).
   void AccumulateFaults(const IoResult& other) {
+    active_joules += other.active_joules;
     transient_errors += other.transient_errors;
     retry_seconds += other.retry_seconds;
     retry_joules += other.retry_joules;

@@ -132,6 +132,10 @@ Status FaultInjectedDevice::ChargeRetryAttempt(double* t, uint64_t bytes,
   faults->transient_errors += 1;
   faults->retry_seconds += attempt.service_seconds + *backoff_s;
   faults->retry_joules += inner_->EstimateReadJoules(bytes);
+  // The failed attempt's real meter pulses travel with the result so the
+  // submitting session can be billed for them (retry_joules above is the
+  // estimate-based observability figure, not the pulse).
+  faults->active_joules += attempt.active_joules;
   *t = attempt.completion_time + *backoff_s;
   *backoff_s *= injector_->retry().backoff_multiplier;
   return Status::OK();

@@ -51,11 +51,13 @@ IoResult HddDevice::Submit(double earliest_start, uint64_t bytes,
   last_op_sequential_ = sequential;
   const double end = start + service;
   // Active-power differential above the idle background for the busy span.
-  meter_->AddEnergyAt(channel_, end,
-                      (spec_.active_watts - spec_.idle_watts) * service,
-                      service);
+  const double active_joules =
+      (spec_.active_watts - spec_.idle_watts) * service;
+  meter_->AddEnergyAt(channel_, end, active_joules, service);
   busy_until_ = end;
-  return IoResult{start, end, service};
+  IoResult result{start, end, service};
+  result.active_joules = active_joules;
+  return result;
 }
 
 double HddDevice::EstimateReadSeconds(uint64_t bytes) const {

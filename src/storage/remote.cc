@@ -26,11 +26,12 @@ StatusOr<IoResult> RemoteDevice::Submit(double earliest_start, uint64_t bytes,
   const double nic_seconds = static_cast<double>(bytes) / nic_.bw_bytes_per_s;
   const double end =
       std::max(remote.completion_time, start + nic_seconds);
-  meter_->AddEnergyAt(nic_channel_, end,
-                      (nic_.active_watts - nic_.idle_watts) * nic_seconds,
-                      nic_seconds);
+  const double nic_joules =
+      (nic_.active_watts - nic_.idle_watts) * nic_seconds;
+  meter_->AddEnergyAt(nic_channel_, end, nic_joules, nic_seconds);
   busy_until_ = end;
   IoResult result{start, end, end - start};
+  result.active_joules = nic_joules;
   result.AccumulateFaults(remote);
   return result;
 }

@@ -18,11 +18,13 @@ IoResult SsdDevice::Submit(double earliest_start, uint64_t bytes, double bw,
   const double start = std::max(earliest_start, busy_until_);
   const double service = latency + static_cast<double>(bytes) / bw;
   const double end = start + service;
-  meter_->AddEnergyAt(channel_, end,
-                      (spec_.active_watts - spec_.idle_watts) * service,
-                      service);
+  const double active_joules =
+      (spec_.active_watts - spec_.idle_watts) * service;
+  meter_->AddEnergyAt(channel_, end, active_joules, service);
   busy_until_ = end;
-  return IoResult{start, end, service};
+  IoResult result{start, end, service};
+  result.active_joules = active_joules;
+  return result;
 }
 
 StatusOr<IoResult> SsdDevice::SubmitRead(double earliest_start, uint64_t bytes,

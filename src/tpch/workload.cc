@@ -85,6 +85,59 @@ OperatorPtr MakeOrderRevenueQuery(const storage::TableStorage* orders,
       std::move(aggs));
 }
 
+sched::SessionManager::QueryFactory MakeServingFactory(
+    const storage::TableStorage* orders,
+    const storage::TableStorage* lineitem) {
+  return [orders, lineitem](const sim::TraceRequest& req)
+             -> StatusOr<sched::SessionManager::PlannedQuery> {
+    const int shape = static_cast<int>(((req.query_class % 3) + 3) % 3);
+    const int stream = static_cast<int>(((req.param % 8) + 8) % 8);
+    const int64_t base = kDateEpochStart;
+    const int64_t year = 365;
+
+    auto columns = [](const storage::TableStorage* table,
+                      std::initializer_list<const char*> names) {
+      std::vector<int> idx;
+      for (const char* name : names) {
+        idx.push_back(table->schema().FindColumn(name));
+      }
+      return idx;
+    };
+
+    sched::SessionManager::PlannedQuery pq;
+    switch (shape) {
+      case 0:
+        pq.root = MakePricingSummaryQuery(
+            lineitem, kDateEpochStart + kDateRangeDays - 90 - 30 * stream);
+        pq.scans.push_back(
+            {lineitem,
+             columns(lineitem, {"l_returnflag", "l_quantity", "l_extendedprice",
+                                "l_discount", "l_shipdate"})});
+        break;
+      case 1: {
+        const int64_t lo = base + (stream % 5) * year;
+        pq.root = MakeRevenueQuery(lineitem, lo, lo + year, 0.02, 0.09,
+                                   25.0 + stream);
+        pq.scans.push_back(
+            {lineitem, columns(lineitem, {"l_quantity", "l_extendedprice",
+                                          "l_discount", "l_shipdate"})});
+        break;
+      }
+      default:
+        pq.root = MakeOrderRevenueQuery(
+            orders, lineitem, base + kDateRangeDays / 2 + 60 * stream);
+        pq.scans.push_back(
+            {orders,
+             columns(orders, {"o_orderkey", "o_orderdate", "o_shippriority"})});
+        pq.scans.push_back(
+            {lineitem, columns(lineitem, {"l_orderkey", "l_extendedprice",
+                                          "l_discount"})});
+        break;
+    }
+    return pq;
+  };
+}
+
 std::vector<OperatorPtr> MakeThroughputStream(
     const storage::TableStorage* orders,
     const storage::TableStorage* lineitem, int stream_index) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "sched/session.h"
 #include "storage/table_storage.h"
 #include "util/status.h"
 
@@ -36,6 +37,15 @@ exec::OperatorPtr MakeRevenueQuery(const storage::TableStorage* lineitem,
 exec::OperatorPtr MakeOrderRevenueQuery(const storage::TableStorage* orders,
                                         const storage::TableStorage* lineitem,
                                         int64_t order_date_cutoff);
+
+/// A serving-core query factory over the throughput-test mixture: maps a
+/// trace request's query_class onto the three shapes and its param onto the
+/// stream-style substitution parameters, and declares the tables each plan
+/// scans so the SessionManager can route them through the shared-scan
+/// manager. Deterministic in the request, as the replay contract requires.
+sched::SessionManager::QueryFactory MakeServingFactory(
+    const storage::TableStorage* orders,
+    const storage::TableStorage* lineitem);
 
 /// One complete throughput-test stream: the three shapes with rotating
 /// parameters. `stream_index` varies the parameters like TPC-H's

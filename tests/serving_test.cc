@@ -1,0 +1,324 @@
+// Serving-core contract tests (DESIGN.md §12).
+//
+// The two normative properties:
+//   * Conservation: sum(session bills) == the meter's integral over the
+//     serving window — no Joule unbilled, none invented — at every dop and
+//     under injected faults.
+//   * Determinism: the admission schedule and the bills are pure functions
+//     of (trace, config); replays are bit-identical, and the direct charge
+//     components are dop-invariant.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/ecodb.h"
+#include "gtest/gtest.h"
+#include "sim/arrival_trace.h"
+#include "tpch/generator.h"
+#include "tpch/workload.h"
+
+namespace ecodb {
+namespace {
+
+struct Rig {
+  std::unique_ptr<core::EcoDb> db;
+  storage::TableStorage* orders = nullptr;
+  storage::TableStorage* lineitem = nullptr;
+};
+
+Rig MakeRig(const storage::FaultPlan& plan = {}) {
+  core::DbConfig config;
+  config.preset = core::PlatformPreset::kProportional;
+  config.ssd_count = 1;
+  config.fault_plan = plan;
+  auto db_or = core::EcoDb::Open(config);
+  EXPECT_TRUE(db_or.ok()) << db_or.status().message();
+  Rig rig;
+  rig.db = std::move(*db_or);
+  tpch::TpchConfig tc;
+  tc.scale_factor = 0.05;
+  EXPECT_TRUE(rig.db->CreateTable("orders", tpch::OrdersSchema()).ok());
+  EXPECT_TRUE(rig.db->Load("orders", tpch::GenerateOrders(tc)).ok());
+  EXPECT_TRUE(rig.db->CreateTable("lineitem", tpch::LineitemSchema()).ok());
+  EXPECT_TRUE(rig.db->Load("lineitem", tpch::GenerateLineitem(tc)).ok());
+  rig.orders = *rig.db->table("orders");
+  rig.lineitem = *rig.db->table("lineitem");
+  return rig;
+}
+
+void ExpectConserved(const sched::ServingReport& report) {
+  EXPECT_NEAR(report.billed_joules, report.total_joules,
+              1e-9 * std::max(1.0, report.total_joules));
+  double tenant_total = 0.0;
+  for (const sched::TenantBill& tb : report.tenants) {
+    tenant_total += tb.TotalJoules();
+  }
+  EXPECT_NEAR(tenant_total, report.total_joules,
+              1e-9 * std::max(1.0, report.total_joules));
+}
+
+TEST(ServingTest, TraceGeneratorIsDeterministic) {
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 42;
+  spec.tenants = 3;
+  spec.requests = 32;
+  spec.mean_interarrival_s = 0.5;
+  spec.tenant_skew_theta = 0.8;
+  spec.priority_classes = 2;
+
+  const sim::ArrivalTrace a = sim::GenerateArrivalTrace(spec);
+  const sim::ArrivalTrace b = sim::GenerateArrivalTrace(spec);
+  ASSERT_EQ(a.requests.size(), spec.requests);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  spec.seed = 43;
+  EXPECT_NE(sim::GenerateArrivalTrace(spec).Fingerprint(), a.Fingerprint());
+
+  double last = 0.0;
+  for (const sim::TraceRequest& req : a.requests) {
+    EXPECT_GE(req.arrival_s, last);
+    last = req.arrival_s;
+    EXPECT_GE(req.tenant_id, 0);
+    EXPECT_LT(req.tenant_id, spec.tenants);
+    EXPECT_GE(req.priority, 0);
+    EXPECT_LT(req.priority, spec.priority_classes);
+    EXPECT_GE(req.query_class, 0);
+    EXPECT_LT(req.query_class, spec.query_classes);
+  }
+}
+
+TEST(ServingTest, BillsConserveEnergyAndDirectChargesAreDopInvariant) {
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 7;
+  spec.tenants = 3;
+  spec.requests = 12;
+  spec.mean_interarrival_s = 0.05;
+  const sim::ArrivalTrace trace = sim::GenerateArrivalTrace(spec);
+
+  struct DirectRow {
+    uint64_t session_id;
+    double cpu, dram, io, fault;
+    uint64_t rows;
+  };
+  std::vector<std::vector<DirectRow>> per_dop;
+
+  for (int dop : {1, 2, 4, 8}) {
+    Rig rig = MakeRig();
+    sched::ServingConfig config;
+    config.worker_fleet = 2;
+    config.exec_options.dop = dop;
+    auto report_or = rig.db->Serve(
+        trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+    ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+    const sched::ServingReport& report = *report_or;
+    ASSERT_EQ(report.sessions.size(), trace.requests.size());
+    ExpectConserved(report);
+
+    std::vector<DirectRow> rows;
+    for (const sched::SessionBill& bill : report.sessions) {
+      rows.push_back({bill.session_id, bill.cpu_joules, bill.dram_joules,
+                      bill.io_joules, bill.fault_joules, bill.rows_emitted});
+    }
+    per_dop.push_back(std::move(rows));
+  }
+
+  // Single priority class: admission order and every direct charge
+  // component are bit-identical at any dop (DESIGN §12 mirrors the §7
+  // dop-invariance carve-outs: background shares and wall-clock windows
+  // may shift, the work and its direct Joules may not).
+  for (size_t d = 1; d < per_dop.size(); ++d) {
+    ASSERT_EQ(per_dop[d].size(), per_dop[0].size());
+    for (size_t i = 0; i < per_dop[0].size(); ++i) {
+      EXPECT_EQ(per_dop[d][i].session_id, per_dop[0][i].session_id);
+      EXPECT_EQ(per_dop[d][i].cpu, per_dop[0][i].cpu);
+      EXPECT_EQ(per_dop[d][i].dram, per_dop[0][i].dram);
+      EXPECT_EQ(per_dop[d][i].io, per_dop[0][i].io);
+      EXPECT_EQ(per_dop[d][i].fault, per_dop[0][i].fault);
+      EXPECT_EQ(per_dop[d][i].rows, per_dop[0][i].rows);
+    }
+  }
+}
+
+TEST(ServingTest, BillsConserveUnderInjectedFaults) {
+  storage::FaultPlan plan;
+  plan.seed = 99;
+  storage::DeviceFaultSpec flaky;
+  flaky.device = "ssd0";
+  flaky.transient_error_rate = 0.05;
+  flaky.transient_ios = {1, 3};
+  plan.devices.push_back(flaky);
+
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 11;
+  spec.tenants = 2;
+  spec.requests = 10;
+  spec.mean_interarrival_s = 0.05;
+  const sim::ArrivalTrace trace = sim::GenerateArrivalTrace(spec);
+
+  Rig rig = MakeRig(plan);
+  sched::ServingConfig config;
+  config.worker_fleet = 2;
+  auto report_or = rig.db->Serve(
+      trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+
+  uint32_t transients = 0;
+  double retry_joules = 0.0;
+  for (const sched::SessionBill& bill : report_or->sessions) {
+    transients += bill.transient_errors;
+    retry_joules += bill.retry_joules;
+  }
+  // The pinned I/O indexes guarantee the fault path actually ran; the
+  // failed attempts' real pulses sit inside io_joules and the books still
+  // balance (retry_joules is observability, not a bill component).
+  EXPECT_GT(transients, 0u);
+  EXPECT_GT(retry_joules, 0.0);
+  ExpectConserved(*report_or);
+}
+
+TEST(ServingTest, ReplayIsBitIdentical) {
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 5;
+  spec.tenants = 4;
+  spec.requests = 16;
+  spec.mean_interarrival_s = 0.1;
+  spec.tenant_skew_theta = 0.5;
+  spec.priority_classes = 2;
+  const sim::ArrivalTrace trace = sim::GenerateArrivalTrace(spec);
+
+  sched::ServingConfig config;
+  config.worker_fleet = 3;
+  config.batching.window_s = 0.2;
+  config.share_window_s = 50.0;
+
+  auto run = [&] {
+    Rig rig = MakeRig();
+    auto report_or = rig.db->Serve(
+        trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+    EXPECT_TRUE(report_or.ok()) << report_or.status().message();
+    return std::move(*report_or);
+  };
+  const sched::ServingReport a = run();
+  const sched::ServingReport b = run();
+
+  EXPECT_EQ(a.admission_fingerprint, b.admission_fingerprint);
+  EXPECT_EQ(a.total_joules, b.total_joules);
+  EXPECT_EQ(a.billed_joules, b.billed_joules);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (size_t i = 0; i < a.sessions.size(); ++i) {
+    const sched::SessionBill& x = a.sessions[i];
+    const sched::SessionBill& y = b.sessions[i];
+    EXPECT_EQ(x.session_id, y.session_id);
+    EXPECT_EQ(x.admit_s, y.admit_s);
+    EXPECT_EQ(x.end_s, y.end_s);
+    EXPECT_EQ(x.cpu_joules, y.cpu_joules);
+    EXPECT_EQ(x.dram_joules, y.dram_joules);
+    EXPECT_EQ(x.io_joules, y.io_joules);
+    EXPECT_EQ(x.fault_joules, y.fault_joules);
+    EXPECT_EQ(x.background_joules, y.background_joules);
+    EXPECT_EQ(x.rows_emitted, y.rows_emitted);
+    EXPECT_EQ(x.shared_scan, y.shared_scan);
+  }
+  ExpectConserved(a);
+}
+
+TEST(ServingTest, PriorityClassesAdmitFirst) {
+  // Both requests sit in the same batch window; the later, more urgent one
+  // must take the single slot first.
+  sim::ArrivalTrace trace;
+  sim::TraceRequest low;
+  low.index = 0;
+  low.arrival_s = 0.0;
+  low.priority = 1;
+  low.query_class = 1;
+  sim::TraceRequest urgent;
+  urgent.index = 1;
+  urgent.arrival_s = 0.001;
+  urgent.priority = 0;
+  urgent.tenant_id = 1;
+  urgent.query_class = 1;
+  trace.requests = {low, urgent};
+
+  Rig rig = MakeRig();
+  sched::ServingConfig config;
+  config.worker_fleet = 1;
+  config.batching.window_s = 0.1;
+  auto report_or = rig.db->Serve(
+      trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+  ASSERT_EQ(report_or->sessions.size(), 2u);
+  EXPECT_EQ(report_or->sessions[0].session_id, 1u);
+  EXPECT_EQ(report_or->sessions[1].session_id, 0u);
+  EXPECT_LE(report_or->sessions[0].admit_s, report_or->sessions[1].admit_s);
+  ExpectConserved(*report_or);
+}
+
+TEST(ServingTest, SharedScansReduceTotalJoules) {
+  // Identical pricing-summary queries arriving back-to-back: with work
+  // sharing on, followers ride the first session's lineitem transfer.
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 21;
+  spec.tenants = 4;
+  spec.requests = 8;
+  spec.mean_interarrival_s = 0.01;
+  spec.query_classes = 1;  // all the same shape
+  spec.param_classes = 1;  // with the same substitution parameter
+  const sim::ArrivalTrace trace = sim::GenerateArrivalTrace(spec);
+
+  auto run = [&](double share_window_s) {
+    Rig rig = MakeRig();
+    sched::ServingConfig config;
+    config.worker_fleet = 4;
+    config.share_window_s = share_window_s;
+    auto report_or = rig.db->Serve(
+        trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+    EXPECT_TRUE(report_or.ok()) << report_or.status().message();
+    return std::move(*report_or);
+  };
+
+  const sched::ServingReport isolated = run(0.0);
+  const sched::ServingReport shared = run(1e9);
+
+  EXPECT_GT(shared.shared_scans.ShareRate(), 0.0);
+  EXPECT_LT(shared.total_joules, isolated.total_joules);
+  size_t piggybacked = 0;
+  for (const sched::SessionBill& bill : shared.sessions) {
+    if (bill.shared_scan) ++piggybacked;
+  }
+  EXPECT_GT(piggybacked, 0u);
+  ExpectConserved(isolated);
+  ExpectConserved(shared);
+  // Consolidation must never break the books: the savings show up as fewer
+  // device pulses, not as unbilled energy.
+  EXPECT_EQ(shared.sessions.size(), isolated.sessions.size());
+}
+
+TEST(ServingTest, BatchingGateConsolidatesAdmissions) {
+  sim::ArrivalTrace trace;
+  for (uint64_t i = 0; i < 4; ++i) {
+    sim::TraceRequest req;
+    req.index = i;
+    req.arrival_s = 0.1 * static_cast<double>(i);
+    req.tenant_id = static_cast<int>(i % 2);
+    req.query_class = 1;
+    trace.requests.push_back(req);
+  }
+
+  Rig rig = MakeRig();
+  sched::ServingConfig config;
+  config.worker_fleet = 4;
+  config.batching.window_s = 0.5;
+  auto report_or = rig.db->Serve(
+      trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+  EXPECT_EQ(report_or->batches_dispatched, 1u);
+  for (const sched::SessionBill& bill : report_or->sessions) {
+    EXPECT_GT(bill.queue_seconds, 0.0);
+  }
+  ExpectConserved(*report_or);
+}
+
+}  // namespace
+}  // namespace ecodb

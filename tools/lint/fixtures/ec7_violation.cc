@@ -1,0 +1,13 @@
+// Fixture for lint_test: seeded EC7 violations. Never compiled — the test
+// lints this text under a src/sched path label; mentioning SessionManager
+// marks it a serving path.
+
+class SessionManager;
+
+void ServeOne(power::HardwarePlatform* platform, exec::ExecOptions options) {
+  exec::ExecContext anonymous(platform, options);
+  auto heap = std::make_unique<exec::ExecContext>(platform, options);
+  exec::ExecContext tagged(platform, options, exec::SessionTag{1, 2}, 0.0);
+  auto ok = std::make_unique<exec::ExecContext>(
+      platform, options, exec::SessionTag{3, 4}, 1.0);
+}

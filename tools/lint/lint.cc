@@ -259,6 +259,10 @@ class Scanner {
     in_exec_ = path_.find("src/exec") != std::string::npos;
     in_sched_ = path_.find("src/sched") != std::string::npos;
     in_storage_ = path_.find("src/storage") != std::string::npos;
+    // EC7 applies to serving paths: sched sources that talk to the
+    // SessionManager (directly or by implementing it).
+    serving_scope_ =
+        in_sched_ && content.find("SessionManager") != std::string::npos;
   }
 
   std::vector<Finding> Run();
@@ -378,6 +382,7 @@ class Scanner {
   bool in_exec_ = false;
   bool in_sched_ = false;
   bool in_storage_ = false;
+  bool serving_scope_ = false;
 
   std::vector<Scope> scopes_;
   std::map<int, Region>::const_iterator next_region_;
@@ -605,6 +610,39 @@ std::vector<Finding> Scanner::Run() {
                  "' is nondeterministic: accounting and row order must be "
                  "pure functions of the input and the plan");
       continue;
+    }
+
+    // ---- EC7: anonymous ExecContext on a serving path ---------------------
+    if (serving_scope_ && tok.text == "ExecContext") {
+      const Token* prev = Prev(i);
+      const Token* next = Next(i);
+      const bool record_decl =
+          prev != nullptr && (prev->text == "class" || prev->text == "struct");
+      const bool ctor_def =
+          prev != nullptr && prev->text == "::" && i >= 2 &&
+          tokens_[i - 2].text == "ExecContext";
+      const bool dtor = prev != nullptr && prev->text == "~";
+      size_t open = tokens_.size();
+      if (!record_decl && !ctor_def && !dtor && next != nullptr) {
+        if (next->text == "(") {
+          open = i + 1;  // qualified temporary: exec::ExecContext(...)
+        } else if (i + 2 < tokens_.size() && tokens_[i + 2].text == "(" &&
+                   (next->text == ">" || next->ident)) {
+          open = i + 2;  // make_unique<...ExecContext>(...) or named local
+        }
+      }
+      if (open < tokens_.size()) {
+        std::string args = JoinTokens(open + 1, MatchParen(open) - 1);
+        std::transform(args.begin(), args.end(), args.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (args.find("session") == std::string::npos) {
+          Report("EC7", tok.line,
+                 "ExecContext constructed on a serving path without a "
+                 "session identity: every Joule must be attributable to the "
+                 "causing session (pass a SessionTag, see DESIGN.md §12)");
+        }
+        continue;
+      }
     }
 
     // ---- EC1: bypassing ExecContext::Charge* ------------------------------

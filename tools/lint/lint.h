@@ -28,6 +28,13 @@
 //                          banned in src/exec, as is range-for iteration of
 //                          unordered containers (iteration order must never
 //                          feed emitted rows or charge order).
+//   EC6  retry-charging    Retry loops in src/storage that re-submit device
+//                          I/O must book the failed attempt's energy
+//                          (ChargeRetry*/AddEnergy*) before re-submitting.
+//   EC7  session-identity  On serving paths (src/sched files that mention
+//                          the SessionManager), every ExecContext must be
+//                          constructed with a session identity — anonymous
+//                          contexts produce Joules nobody is billed for.
 //
 // Annotations (in ordinary // comments):
 //   // ecodb-lint: worker-context     marks the rest of the enclosing scope
@@ -51,7 +58,7 @@
 namespace ecodb::lint {
 
 struct Finding {
-  std::string rule;     // "EC1".."EC5"
+  std::string rule;     // "EC1".."EC7"
   std::string file;     // path label the content was linted under
   int line = 0;         // 1-based
   std::string message;  // human explanation

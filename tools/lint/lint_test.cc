@@ -173,6 +173,32 @@ TEST(EcodbLint, Ec6NolintSuppresses) {
   EXPECT_TRUE(findings.empty()) << RenderText(findings);
 }
 
+TEST(EcodbLint, Ec7FlagsAnonymousServingContexts) {
+  const auto findings = LintSource("src/sched/ec7_violation.cc",
+                                   ReadFixture("ec7_violation.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(counts.at("EC7"), 2) << RenderText(findings);
+  // The anonymous stack and make_unique constructions; the two SessionTag
+  // constructions pass.
+  EXPECT_EQ(LinesForRule(findings, "EC7"), (std::set<int>{8, 9}));
+}
+
+TEST(EcodbLint, Ec7IsScopedToServingPaths) {
+  // Outside src/sched the same content is not EC7's business (single-query
+  // harnesses bill the whole window to one context by design)...
+  EXPECT_TRUE(LintSource("src/exec/ec7_violation.cc",
+                         ReadFixture("ec7_violation.cc"))
+                  .empty());
+  // ...and a sched file that never touches the SessionManager is not a
+  // serving path.
+  const std::string no_manager =
+      "void F(power::HardwarePlatform* p, exec::ExecOptions o) {\n"
+      "  exec::ExecContext ctx(p, o);\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/sched/no_manager.cc", no_manager).empty());
+}
+
 TEST(EcodbLint, CleanAnnotatedFixtureLintsClean) {
   const auto findings = LintSource("src/exec/clean_annotated.cc",
                                    ReadFixture("clean_annotated.cc"));

@@ -1,5 +1,5 @@
 // ecodb-lint CLI: lints .h/.cc files (or directory trees) against the
-// energy-accounting contract rules EC1–EC5. See lint.h for the rule list
+// energy-accounting contract rules EC1–EC7. See lint.h for the rule list
 // and annotation syntax.
 //
 //   ecodb-lint [--root DIR] [--format text|json] [--baseline FILE]
