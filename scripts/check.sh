@@ -37,17 +37,23 @@ run ./scripts/bench_regress.sh --smoke
 #    seeded traces replay bit-exactly) end to end.
 run ./build/bench/serving_sweep --smoke
 
+# 3b. Join-order smoke: the lambda sweep's shape checks enforce the DESIGN
+#     §13 contract (some shape reorders as lambda grows, flips buy Joules
+#     with seconds, replans are deterministic).
+run ./build/bench/ablate_join_order --smoke
+
 # 4. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
-#    asan and ubsan run everything. The fault-injection and serving suites
-#    (`-L 'faults|serving'`) then re-run explicitly under each sanitizer so
-#    retry/degraded-mode and admission regressions are reported by name even
-#    when a full run is noisy.
+#    asan and ubsan run everything. The fault-injection, serving, and
+#    join-differential suites (`-L 'faults|serving|joins'`) then re-run
+#    explicitly under each sanitizer so retry/degraded-mode, admission, and
+#    join-order-equivalence regressions are reported by name even when a
+#    full run is noisy.
 for san in tsan asan ubsan; do
   run cmake --preset "$san"
   run cmake --build --preset "$san" -j "$jobs"
   run ctest --preset "$san" -j "$jobs"
-  run ctest --test-dir "build-$san" -L 'faults|serving' --output-on-failure \
-      -j "$jobs"
+  run ctest --test-dir "build-$san" -L 'faults|serving|joins' \
+      --output-on-failure -j "$jobs"
 done
 
 # 5. Energy-accounting linter over src/ (also covered by `ctest -L lint`,

@@ -60,6 +60,29 @@ Status Catalog::UpdateStats(TableId id, TableStats stats) {
   return Status::OK();
 }
 
+Status Catalog::AddForeignKey(TableId id, ForeignKey fk) {
+  std::unique_lock lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no such table id");
+  if (it->second.schema.FindColumn(fk.column) < 0) {
+    return Status::InvalidArgument("foreign-key column '" + fk.column +
+                                   "' missing from '" + it->second.name + "'");
+  }
+  auto parent_it = by_name_.find(fk.parent_table);
+  if (parent_it == by_name_.end()) {
+    return Status::NotFound("foreign-key parent table '" + fk.parent_table +
+                            "' not registered");
+  }
+  const TableEntry& parent = by_id_.at(parent_it->second);
+  if (parent.schema.FindColumn(fk.parent_column) < 0) {
+    return Status::InvalidArgument("foreign-key parent column '" +
+                                   fk.parent_column + "' missing from '" +
+                                   fk.parent_table + "'");
+  }
+  it->second.foreign_keys.push_back(std::move(fk));
+  return Status::OK();
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::shared_lock lock(mu_);
   std::vector<std::string> names;

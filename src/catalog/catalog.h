@@ -36,11 +36,22 @@ struct TableStats {
 
 using TableId = uint32_t;
 
+/// A declared referential link: `column` of this table references
+/// `parent_column` of `parent_table` (by name; tables are registered in
+/// dependency order). The join-order estimator uses these to treat key/
+/// foreign-key joins as non-expanding: |child >< parent| = |child|.
+struct ForeignKey {
+  std::string column;
+  std::string parent_table;
+  std::string parent_column;
+};
+
 struct TableEntry {
   TableId id = 0;
   std::string name;
   Schema schema;
   TableStats stats;
+  std::vector<ForeignKey> foreign_keys;
 };
 
 /// Name -> table registry. Thread-safe: lookups take a shared lock, DDL and
@@ -59,6 +70,10 @@ class Catalog {
 
   /// Replaces a table's statistics (set by TableStorage::AnalyzeInto).
   Status UpdateStats(TableId id, TableStats stats);
+
+  /// Declares a foreign key on table `id`. Both endpoints must exist (the
+  /// parent table by name, both columns in their schemas).
+  Status AddForeignKey(TableId id, ForeignKey fk);
 
   std::vector<std::string> TableNames() const;
   size_t size() const {

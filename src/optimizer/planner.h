@@ -46,19 +46,41 @@ struct TableAlternatives {
   /// the same rows in the same order).
   const storage::BTreeIndex* index = nullptr;
   std::string index_column;
+  /// Optional load-time statistics (e.g. from the catalog). When set they
+  /// feed cardinality estimation directly; when null the planner analyzes
+  /// variant 0 on demand. Statistics feed pricing only, never correctness.
+  const catalog::TableStats* stats = nullptr;
 };
 
 enum class AccessPath { kTableScan, kIndexScan };
 
 const char* AccessPathName(AccessPath path);
 
+/// One equi-join edge of an N-relation join graph: relations[left_rel].
+/// left_key = relations[right_rel].right_key.
+struct JoinEdge {
+  int left_rel = 0;
+  int right_rel = 0;
+  std::string left_key;
+  std::string right_key;
+};
+
 /// Logical query: left [JOIN right ON lk = rk] [WHERE ...] [GROUP BY ...]
-/// [ORDER BY ...].
+/// [ORDER BY ...] — or, when `relations` is non-empty, an N-relation join
+/// graph whose join ORDER the planner chooses by bitmask DP (join_order.h).
 struct QuerySpec {
   TableAlternatives left;
   std::optional<TableAlternatives> right;
   std::string left_key;   // join keys; used when right is present
   std::string right_key;
+  /// N-way form: when non-empty, `relations` + `edges` supersede
+  /// left/right/left_key/right_key entirely. Requirements: the edge set
+  /// connects all relations (no cross products), every column name is
+  /// unique across relations, and each relation is planned on variant 0
+  /// with the table-scan access path (the N-way enumerator's scope; the
+  /// 2-way form keeps variant/index enumeration).
+  std::vector<TableAlternatives> relations;
+  std::vector<JoinEdge> edges;
   std::vector<std::string> group_by;
   std::vector<exec::AggregateItem> aggregates;
   /// Final ordering of the output. Priced with CostModel::SortDemand and
@@ -83,6 +105,24 @@ enum class JoinAlgorithm { kHash, kHashSwapped, kMerge, kNestedLoop };
 
 const char* JoinAlgorithmName(JoinAlgorithm algo);
 
+/// One node of an N-way join tree (leaf = one relation, internal = one
+/// join). Stored flat in PhysicalPlan::join_nodes; children by index.
+/// Hash joins build on the `right` child (the N-way enumerator prices both
+/// orientations of every split, so kHashSwapped never appears in trees).
+struct PlanJoinNode {
+  int relation = -1;  // leaf: index into spec.relations; -1 for joins
+  int left = -1;      // internal: child node indexes
+  int right = -1;
+  JoinAlgorithm algo = JoinAlgorithm::kHash;
+  std::string left_key;   // primary equi-join edge
+  std::string right_key;
+  /// Further edges between the two subtrees, applied as a residual filter
+  /// over the join output (multi-key joins, cyclic graphs).
+  std::vector<JoinEdge> residual_edges;
+  double est_rows = 0.0;   // estimated output cardinality of this subtree
+  double est_bytes = 0.0;  // est_rows x projected row width
+};
+
 /// A fully specified physical plan plus its estimated cost.
 struct PhysicalPlan {
   int left_variant = 0;
@@ -95,11 +135,23 @@ struct PhysicalPlan {
   /// True when ORDER BY + LIMIT is fused into the bounded-heap top-k path
   /// (requires spec.order_by non-empty and spec.limit set).
   bool use_topk = false;
+  /// N-way join tree (set when spec.relations is non-empty): nodes plus the
+  /// root index, from the DP enumerator or CanonicalJoinPlan.
+  std::vector<PlanJoinNode> join_nodes;
+  int join_root = -1;
+  /// Estimated bytes of all non-root intermediate join results (the bench's
+  /// "intermediate-result bytes" axis; what high lambda shrinks).
+  double est_intermediate_bytes = 0.0;
   PlanCost cost;
   /// Estimated output cardinality (clamped to spec.limit when set).
   double output_rows = 0.0;
 
   std::string Describe(const QuerySpec& spec) const;
+
+  /// Leaf relations of the join tree in left-to-right order — the chosen
+  /// join order (empty for 2-way plans). Two plans over the same spec
+  /// joined in different orders differ here.
+  std::vector<int> LeafOrder() const;
 };
 
 /// Planner knobs: which dimensions to enumerate.
@@ -166,6 +218,16 @@ class Planner {
   StatusOr<PlanCost> PriceInternal(const QuerySpec& spec,
                                    const PhysicalPlan& plan,
                                    const Cardinalities& cards) const;
+
+  // N-way join-graph path (join_order.cc): bitmask-DP enumeration over
+  // connected subgraphs, pricing with the same model, building trees of the
+  // unchanged join operators.
+  StatusOr<PhysicalPlan> ChooseJoinGraphPlan(const QuerySpec& spec,
+                                             const Objective& objective) const;
+  StatusOr<PlanCost> PriceJoinGraphPlan(const QuerySpec& spec,
+                                        const PhysicalPlan& plan) const;
+  StatusOr<exec::OperatorPtr> BuildJoinGraphOperator(
+      const QuerySpec& spec, const PhysicalPlan& plan) const;
 
   CostModel* model_;
   PlannerOptions options_;

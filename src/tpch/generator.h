@@ -1,4 +1,5 @@
-// TPC-H-like data generation (ORDERS and LINEITEM).
+// TPC-H-like data generation (ORDERS, LINEITEM, CUSTOMER, PART, SUPPLIER,
+// PARTSUPP).
 //
 // The paper's experiments run against a 300 GB-scale-factor TPC-H database
 // (Figure 1) and a scan of ORDERS projecting 5 of its 7 attributes
@@ -7,6 +8,13 @@
 // those experiments — clustered keys (compressible with FOR/delta), skewed
 // low-cardinality status/priority strings (dictionary-friendly), dates over
 // a 7-year window, and prices — fully deterministically from a seed.
+//
+// The four dimension-side tables widen the schema for multi-join queries
+// (the join-order work): they are FK-consistent with ORDERS/LINEITEM by
+// construction — every o_custkey, l_partkey and l_suppkey the fact tables
+// draw lands inside the [1, count] key ranges the dimensions enumerate —
+// and each table consumes its own seeded RNG stream, so adding tables never
+// perturbs the bytes of an existing one.
 //
 // Row counts scale volumetrically: `orders_per_sf` rows of ORDERS per unit
 // of scale factor, so tests run in milliseconds while benchmark configs can
@@ -18,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "catalog/schema.h"
 #include "storage/table_storage.h"
 #include "util/random.h"
@@ -32,11 +41,38 @@ struct TpchConfig {
   uint64_t seed = 20090104;  // CIDR 2009 opening day
 };
 
+/// Derived table cardinalities for a config. These ratios are fixed by the
+/// fact-table generators (GenerateOrders draws o_custkey from
+/// [1, customers]; GenerateLineitem draws l_partkey / l_suppkey from
+/// [1, parts] / [1, suppliers]), so the dimension generators must use the
+/// exact same counts to stay FK-consistent.
+struct TpchRowCounts {
+  uint64_t orders = 0;
+  uint64_t customers = 0;  // orders / 10 (TPC-H: 10 orders per customer)
+  uint64_t parts = 0;      // orders / 8
+  uint64_t suppliers = 0;  // orders / 150
+  uint64_t partsupp = 0;   // parts * 2 supply links
+};
+
+TpchRowCounts RowCountsFor(const TpchConfig& config);
+
 /// The 7-attribute ORDERS variant of [HLA+06] / Figure 2.
 catalog::Schema OrdersSchema();
 
 /// LINEITEM columns needed by the throughput-test queries.
 catalog::Schema LineitemSchema();
+
+/// CUSTOMER (c_custkey, c_name, c_nationkey, c_acctbal, c_mktsegment).
+catalog::Schema CustomerSchema();
+
+/// PART (p_partkey, p_name, p_brand, p_size, p_retailprice).
+catalog::Schema PartSchema();
+
+/// SUPPLIER (s_suppkey, s_name, s_nationkey, s_acctbal).
+catalog::Schema SupplierSchema();
+
+/// PARTSUPP (ps_partkey, ps_suppkey, ps_availqty, ps_supplycost).
+catalog::Schema PartsuppSchema();
 
 /// Generates ORDERS columns (o_orderkey, o_custkey, o_orderstatus,
 /// o_totalprice, o_orderdate, o_orderpriority, o_shippriority).
@@ -47,6 +83,22 @@ std::vector<storage::ColumnData> GenerateOrders(const TpchConfig& config);
 /// Order keys reference GenerateOrders output for the same config.
 std::vector<storage::ColumnData> GenerateLineitem(const TpchConfig& config);
 
+/// Generates CUSTOMER rows covering every o_custkey GenerateOrders draws.
+std::vector<storage::ColumnData> GenerateCustomer(const TpchConfig& config);
+
+/// Generates PART rows covering every l_partkey GenerateLineitem draws.
+std::vector<storage::ColumnData> GeneratePart(const TpchConfig& config);
+
+/// Generates SUPPLIER rows covering every l_suppkey GenerateLineitem draws.
+std::vector<storage::ColumnData> GenerateSupplier(const TpchConfig& config);
+
+/// Generates PARTSUPP: two distinct supply links per part (when more than
+/// one supplier exists). Every ps_partkey / ps_suppkey resolves against
+/// PART / SUPPLIER; per-column FK containment of LINEITEM's (partkey,
+/// suppkey) draws holds, pair containment is not promised (as in real
+/// TPC-H data only the declared single-column FKs are normative here).
+std::vector<storage::ColumnData> GeneratePartsupp(const TpchConfig& config);
+
 /// Convenience: builds and loads a TableStorage for ORDERS / LINEITEM on
 /// `device` with the given layout.
 StatusOr<std::unique_ptr<storage::TableStorage>> LoadOrders(
@@ -56,6 +108,47 @@ StatusOr<std::unique_ptr<storage::TableStorage>> LoadOrders(
 StatusOr<std::unique_ptr<storage::TableStorage>> LoadLineitem(
     const TpchConfig& config, catalog::TableId id,
     storage::TableLayout layout, storage::StorageDevice* device);
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadCustomer(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadPart(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadSupplier(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+StatusOr<std::unique_ptr<storage::TableStorage>> LoadPartsupp(
+    const TpchConfig& config, catalog::TableId id,
+    storage::TableLayout layout, storage::StorageDevice* device);
+
+/// One loaded table plus the load-time statistics the planner prices with.
+struct TpchTable {
+  std::unique_ptr<storage::TableStorage> storage;
+  catalog::TableStats stats;
+};
+
+/// The full widened database: all six tables loaded on `device`, analyzed,
+/// and registered in `catalog` (names "orders", "lineitem", "customer",
+/// "part", "supplier", "partsupp") together with the declared foreign keys
+/// (o_custkey -> customer, l_orderkey -> orders, l_partkey -> part,
+/// l_suppkey -> supplier, ps_partkey -> part, ps_suppkey -> supplier).
+struct TpchDatabase {
+  TpchTable orders;
+  TpchTable lineitem;
+  TpchTable customer;
+  TpchTable part;
+  TpchTable supplier;
+  TpchTable partsupp;
+};
+
+StatusOr<TpchDatabase> LoadDatabase(const TpchConfig& config,
+                                    storage::TableLayout layout,
+                                    storage::StorageDevice* device,
+                                    catalog::Catalog* catalog);
 
 /// Date helpers: days since 1992-01-01 (the TPC-H calendar start).
 constexpr int64_t kDateEpochStart = 0;
