@@ -58,7 +58,14 @@ done
 
 # 5. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
 #    but run it standalone so failures print the findings directly).
-run ./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt src
+#    Full EC1–EC10 sweep: the JSON report is persisted for tooling, stale
+#    baseline entries (fingerprints no finding matches anymore) fail the
+#    run, and --timings keeps the cross-TU pass cost visible as src/ grows.
+echo "==> ecodb-lint --format json src (persisted to build/lint-report.json)"
+./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt \
+    --fail-stale --timings --format json src > build/lint-report.json
+run ./build/tools/lint/ecodb-lint --root . --baseline tools/lint/lint-baseline.txt \
+    --fail-stale src
 
 # 6. clang-tidy, when available (the checks live in .clang-tidy).
 if command -v clang-tidy >/dev/null 2>&1; then

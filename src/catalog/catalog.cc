@@ -1,5 +1,6 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace ecodb::catalog {
@@ -87,7 +88,8 @@ std::vector<std::string> Catalog::TableNames() const {
   std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
-  for (const auto& [name, id] : by_name_) names.push_back(name);
+  for (const auto& [name, id] : by_name_) names.push_back(name);  // NOLINT-ECODB(EC8): sorted before return
+  std::sort(names.begin(), names.end());
   return names;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <vector>
 
 namespace ecodb::storage {
 
@@ -28,16 +29,33 @@ BufferPool::BufferPool(BufferPoolConfig config, sim::SimClock* clock,
   assert(config_.num_frames > 0);
 }
 
+namespace {
+
+// frames_ is an unordered_map, so every scan over it must break ties by
+// page id: otherwise the victim (and with it the whole device timeline and
+// energy bill) depends on hash iteration order, which EC8 forbids for
+// anything the executor can reach.
+bool PageIdLess(const PageId& a, const PageId& b) {
+  return a.space_id != b.space_id ? a.space_id < b.space_id
+                                  : a.page_no < b.page_no;
+}
+
+}  // namespace
+
 PageId BufferPool::PickVictim() {
   assert(!frames_.empty());
   switch (config_.policy) {
     case ReplacementPolicy::kLru: {
       PageId victim{};
+      bool have_victim = false;
       uint64_t oldest = std::numeric_limits<uint64_t>::max();
-      for (const auto& [id, f] : frames_) {
-        if (f.last_used_tick < oldest) {
+      for (const auto& [id, f] : frames_) {  // NOLINT-ECODB(EC8): order-independent min-reduction (id tie-break)
+        if (f.last_used_tick < oldest ||
+            (f.last_used_tick == oldest &&
+             (!have_victim || PageIdLess(id, victim)))) {
           oldest = f.last_used_tick;
           victim = id;
+          have_victim = true;
         }
       }
       return victim;
@@ -61,8 +79,9 @@ PageId BufferPool::PickVictim() {
       // Expected eviction cost = reload energy x reuse likelihood; recency
       // proxies reuse likelihood. Evict the minimum-cost frame.
       PageId victim{};
+      bool have_victim = false;
       double best = std::numeric_limits<double>::max();
-      for (const auto& [id, f] : frames_) {
+      for (const auto& [id, f] : frames_) {  // NOLINT-ECODB(EC8): order-independent min-reduction (id tie-break)
         const double age =
             static_cast<double>(tick_ - f.last_used_tick) + 1.0;
         const double recency_weight = 1.0 / age;
@@ -70,9 +89,11 @@ PageId BufferPool::PickVictim() {
         const double writeback_penalty = f.dirty ? f.reload_joules : 0.0;
         const double cost =
             (f.reload_joules + writeback_penalty) * recency_weight;
-        if (cost < best) {
+        if (cost < best ||
+            (cost == best && (!have_victim || PageIdLess(id, victim)))) {
           best = cost;
           victim = id;
+          have_victim = true;
         }
       }
       return victim;
@@ -142,16 +163,23 @@ StatusOr<PageAccess> BufferPool::Access(PageId page, StorageDevice* source,
 
 StatusOr<double> BufferPool::FlushAll() {
   double last = clock_->now();
-  for (auto& [id, f] : frames_) {
-    if (f.dirty && f.source != nullptr) {
-      ECODB_ASSIGN_OR_RETURN(
-          const IoResult wb,
-          f.source->SubmitWrite(clock_->now(), config_.page_bytes,
-                                /*sequential=*/false));
-      last = std::max(last, wb.completion_time);
-      f.dirty = false;
-      ++stats_.dirty_writebacks;
-    }
+  // Write back in page-id order: the flush sequence feeds the device
+  // timeline, so hash order here would leak into completion times.
+  std::vector<PageId> dirty;
+  dirty.reserve(frames_.size());
+  for (const auto& [id, f] : frames_) {  // NOLINT-ECODB(EC8): collect-then-sort, order-independent
+    if (f.dirty && f.source != nullptr) dirty.push_back(id);
+  }
+  std::sort(dirty.begin(), dirty.end(), PageIdLess);
+  for (const PageId& id : dirty) {
+    Frame& f = frames_.at(id);
+    ECODB_ASSIGN_OR_RETURN(
+        const IoResult wb,
+        f.source->SubmitWrite(clock_->now(), config_.page_bytes,
+                              /*sequential=*/false));
+    last = std::max(last, wb.completion_time);
+    f.dirty = false;
+    ++stats_.dirty_writebacks;
   }
   return last;
 }

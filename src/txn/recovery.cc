@@ -1,6 +1,7 @@
 #include "txn/recovery.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace ecodb::txn {
 
@@ -21,7 +22,17 @@ const storage::Page* PageStore::Find(storage::PageId id) const {
 void PageStore::ForEach(
     const std::function<void(storage::PageId, const storage::Page&)>& fn)
     const {
-  for (const auto& [id, page] : pages_) fn(id, page);
+  // Visit in page-id order so callers (checksums, dumps, replay audits)
+  // see the same sequence on every run regardless of hash layout.
+  std::vector<storage::PageId> ids;
+  ids.reserve(pages_.size());
+  for (const auto& [id, page] : pages_) ids.push_back(id);  // NOLINT-ECODB(EC8): collect-then-sort, order-independent
+  std::sort(ids.begin(), ids.end(),
+            [](const storage::PageId& a, const storage::PageId& b) {
+              return a.space_id != b.space_id ? a.space_id < b.space_id
+                                              : a.page_no < b.page_no;
+            });
+  for (const storage::PageId& id : ids) fn(id, pages_.at(id));
 }
 
 bool PageStore::Equal(const PageStore& a, const PageStore& b) {

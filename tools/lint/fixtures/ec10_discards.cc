@@ -1,0 +1,18 @@
+// EC10 fixture, caller side (labelled src/txn/ec10_discards.cc). The first
+// three statements drop a Status/StatusOr on the floor and must fire; the
+// rest consume, cast, or macro-wrap the result and must stay clean — as
+// must depth(), whose int return nobody is obliged to look at.
+namespace ecodb::txn {
+
+Status Checkpoint(storage::CompactionQueue* queue) {
+  queue->Drain();
+  storage::DrainAll(queue);
+  queue->Reserve(4);
+  queue->depth();
+  (void)queue->Drain();
+  const Status last = queue->Drain();
+  ECODB_RETURN_IF_ERROR(storage::DrainAll(queue));
+  return last;
+}
+
+}  // namespace ecodb::txn

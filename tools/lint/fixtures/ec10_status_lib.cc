@@ -1,0 +1,23 @@
+// EC10 fixture, callee side (labelled src/storage/ec10_status_lib.cc).
+// Defines the Status-returning surface that ec10_discards.cc drops on the
+// floor — including DrainAll, a wrapper whose [[nodiscard]] obligation the
+// analyzer must carry through because its own return type is Status.
+namespace ecodb::storage {
+
+Status CompactionQueue::Drain() {
+  return Status::OK();
+}
+
+StatusOr<int> CompactionQueue::Reserve(int pages) {
+  return pages;
+}
+
+int CompactionQueue::depth() const {
+  return depth_;
+}
+
+Status DrainAll(CompactionQueue* queue) {
+  return queue->Drain();
+}
+
+}  // namespace ecodb::storage

@@ -1,0 +1,18 @@
+// Seeded EC8 violations, entry side. Never compiled — the test feeds this
+// file together with ec8_util.cc and ec8_sched.cc to LintProject, labelled
+// src/exec/ec8_exec_chain.cc, so the cross-file chains
+//   exec entry -> util helper -> rand() / wall clock
+// must surface at the call sites below.
+namespace ecodb::exec {
+
+void ShuffleOp::Open(ExecContext* ctx) {
+  const int delay = util::JitterDelay(8);
+  ctx->set_open_delay(delay);
+}
+
+void ShuffleOp::Next(RecordBatch* out) {
+  const double due = util::WallClockSeconds();
+  out->Reserve(static_cast<int>(due));
+}
+
+}  // namespace ecodb::exec

@@ -1,0 +1,23 @@
+// Seeded EC8 violations in a scheduler body (labelled
+// src/sched/ec8_sched.cc). src/sched is outside EC5's textual scope, so
+// these only fire through the project pass, which reports a serving-path
+// entry's own body directly (no chain needed).
+namespace ecodb::sched {
+
+class AdmissionQueue {
+ public:
+  void PickNext();
+
+ private:
+  std::unordered_map<uint64_t, int> active_queues_;
+};
+
+void AdmissionQueue::PickNext() {
+  std::random_device seed_source;
+  const unsigned seed = seed_source();
+  for (const auto& [session, depth] : active_queues_) {
+    Admit(session, depth + static_cast<int>(seed));
+  }
+}
+
+}  // namespace ecodb::sched

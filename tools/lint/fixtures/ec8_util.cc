@@ -1,0 +1,15 @@
+// Seeded EC8 violations, callee side (labelled src/util/ec8_util.cc).
+// These bodies are outside src/exec, so EC5 never sees them textually —
+// only the cross-TU pass can attribute them to the operators that call in.
+namespace ecodb::util {
+
+int JitterDelay(int bound) {
+  return rand() % bound;
+}
+
+double WallClockSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace ecodb::util

@@ -1,0 +1,33 @@
+// Seeded EC9 violations, scheduler side (labelled src/sched/ec9_order_a.cc
+// and fed to LintProject together with ec9_order_b.cc). Never compiled.
+//
+// AdmitThenBill fixes the lock order admission_mu -> billing_mu; the
+// catalog file takes them the other way around, which the cross-TU pass
+// must report as an inversion. The two billing helpers below seed the
+// settlement-under-lock findings (one direct, one through a callee).
+namespace ecodb::sched {
+
+std::mutex admission_mu;
+std::mutex billing_mu;
+
+void AdmitThenBill(SessionManager* mgr) {
+  std::lock_guard<std::mutex> admit(admission_mu);
+  std::lock_guard<std::mutex> bill(billing_mu);
+  mgr->Touch();
+}
+
+void BillUnderLock(SessionManager* mgr) {
+  std::lock_guard<std::mutex> admit(admission_mu);
+  mgr->ChargeCpu(1.0);
+}
+
+void PublishTotals(EnergyMeter* meter) {
+  meter->ChargeResidual(0.0);
+}
+
+void SettleWhileLocked(EnergyMeter* meter) {
+  std::lock_guard<std::mutex> bill(billing_mu);
+  PublishTotals(meter);
+}
+
+}  // namespace ecodb::sched

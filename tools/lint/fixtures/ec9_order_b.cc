@@ -1,0 +1,24 @@
+// Seeded EC9 violations, catalog side (labelled
+// src/catalog/ec9_order_b.cc). RefreshBilling inverts the
+// admission_mu -> billing_mu order fixed by ec9_order_a.cc, and
+// ReloadStats re-enters its own mutex through a helper — a self-deadlock
+// only visible once lock sets propagate across calls.
+namespace ecodb::catalog {
+
+void RefreshBilling() {
+  std::lock_guard<std::mutex> bill(billing_mu);
+  std::lock_guard<std::mutex> admit(admission_mu);
+}
+
+Status BillingCatalog::ReloadStats() {
+  std::unique_lock lock(mu_);
+  RecomputeLocked();
+  return Status::OK();
+}
+
+void BillingCatalog::RecomputeLocked() {
+  std::unique_lock lock(mu_);
+  rebuilds_++;
+}
+
+}  // namespace ecodb::catalog

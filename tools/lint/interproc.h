@@ -1,0 +1,54 @@
+// Pass 2 of the cross-TU analyzer: the interprocedural rules EC8–EC10
+// evaluated over the ProjectIndex call graph (see index.h for pass 1 and
+// lint.h for the full rule list).
+//
+//   EC8  transitive-determinism  No function reachable from a src/exec or
+//                                src/sched entry point may reach an entropy
+//                                or wall-clock source, or range-for over an
+//                                unordered container — wherever in src/ the
+//                                offending function lives. (EC5 owns the
+//                                textual src/exec cases; EC8 closes the
+//                                cross-TU hole.)
+//   EC9  lock-discipline         Over src/sched + src/catalog: the observed
+//                                mutex acquisition order must be consistent
+//                                (no inverted pairs, no re-acquisition of a
+//                                held lock), and no settlement call
+//                                (Charge*/Settle*/MergeWork/Finish) may run
+//                                — directly or transitively — while a lock
+//                                is held, or coordinator settlement order
+//                                would depend on thread scheduling.
+//   EC10 no-dropped-status       A statement-level call whose every
+//                                resolved candidate returns Status/StatusOr
+//                                must not discard the result; resolution is
+//                                cross-TU, so [[nodiscard]] wrappers defined
+//                                in another file still protect their
+//                                callers. Unknown callees are skipped
+//                                (conservative fallback).
+
+#ifndef ECODB_TOOLS_LINT_INTERPROC_H_
+#define ECODB_TOOLS_LINT_INTERPROC_H_
+
+#include <vector>
+
+#include "index.h"
+#include "lint.h"
+
+namespace ecodb::lint {
+
+/// Wall time per analysis stage, for `ecodb-lint --timings`.
+struct ProjectTimings {
+  double index_seconds = 0;
+  double ec8_seconds = 0;
+  double ec9_seconds = 0;
+  double ec10_seconds = 0;
+};
+
+/// Runs the interprocedural rules over the whole file set. Findings are
+/// sorted by (file, line, rule); NOLINT-ECODB suppressions apply at the
+/// reported line.
+std::vector<Finding> LintProject(const std::vector<SourceFile>& files,
+                                 ProjectTimings* timings = nullptr);
+
+}  // namespace ecodb::lint
+
+#endif  // ECODB_TOOLS_LINT_INTERPROC_H_

@@ -1,5 +1,7 @@
 #include "lint.h"
 
+#include "token.h"
+
 #include <algorithm>
 #include <cctype>
 #include <map>
@@ -9,179 +11,6 @@ namespace ecodb::lint {
 
 namespace {
 
-// --- Lexing -----------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool ident = false;  // identifier or keyword (vs punctuation/number)
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Comments, string/char literals, and preprocessor lines carry no contract
-/// semantics (annotations are collected in a separate line pass), so the
-/// token stream drops them. `::` is one token so qualified names and
-/// range-for colons can't be confused.
-std::vector<Token> Tokenize(const std::string& src) {
-  std::vector<Token> out;
-  int line = 1;
-  size_t i = 0;
-  const size_t n = src.size();
-  bool at_line_start = true;
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '#' && at_line_start) {  // preprocessor directive: skip line(s)
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;  // unterminated; keep line count honest
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(src[j])) ++j;
-      out.push_back({src.substr(i, j - i), line, true});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i;
-      while (j < n && (IsIdentChar(src[j]) || src[j] == '.')) ++j;
-      out.push_back({src.substr(i, j - i), line, false});
-      i = j;
-      continue;
-    }
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.push_back({"::", line, false});
-      i += 2;
-      continue;
-    }
-    if ((c == '-' || c == '=') && i + 1 < n && src[i + 1] == '>') {
-      out.push_back({std::string(1, c) + ">", line, false});
-      i += 2;
-      continue;
-    }
-    out.push_back({std::string(1, c), line, false});
-    ++i;
-  }
-  return out;
-}
-
-// --- Line-level annotations -------------------------------------------------
-
-enum class Region { kNone, kWorker, kCoordinator };
-
-struct LineDirectives {
-  // line -> rules suppressed on it ("*" = all)
-  std::map<int, std::set<std::string>> nolint;
-  // line -> region annotation taking effect there
-  std::map<int, Region> region;
-  std::set<int> worker_partial;  // lines carrying the worker-partial mark
-  bool has_worker_region = false;
-};
-
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-LineDirectives ScanDirectives(const std::string& src) {
-  LineDirectives d;
-  std::istringstream in(src);
-  std::string text;
-  int line = 0;
-  while (std::getline(in, text)) {
-    ++line;
-    const size_t comment = text.find("//");
-    if (comment == std::string::npos) continue;
-    const std::string body = text.substr(comment + 2);
-    const bool standalone = Trim(text.substr(0, comment)).empty();
-
-    const size_t nl = body.find("NOLINT-ECODB");
-    if (nl != std::string::npos) {
-      std::set<std::string> rules;
-      size_t p = nl + std::string("NOLINT-ECODB").size();
-      if (p < body.size() && body[p] == '(') {
-        const size_t close = body.find(')', p);
-        std::istringstream list(body.substr(p + 1, close == std::string::npos
-                                                       ? std::string::npos
-                                                       : close - p - 1));
-        std::string rule;
-        while (std::getline(list, rule, ',')) {
-          rule = Trim(rule);
-          if (!rule.empty()) rules.insert(rule);
-        }
-      }
-      if (rules.empty()) rules.insert("*");
-      d.nolint[line].insert(rules.begin(), rules.end());
-      // A comment-only NOLINT line shields the statement below it.
-      if (standalone) d.nolint[line + 1].insert(rules.begin(), rules.end());
-    }
-
-    const size_t mark = body.find("ecodb-lint:");
-    if (mark != std::string::npos) {
-      const std::string what =
-          Trim(body.substr(mark + std::string("ecodb-lint:").size()));
-      if (what.rfind("worker-context", 0) == 0) {
-        d.region[line] = Region::kWorker;
-        d.has_worker_region = true;
-      } else if (what.rfind("coordinator-only", 0) == 0) {
-        d.region[line] = Region::kCoordinator;
-      } else if (what.rfind("worker-partial", 0) == 0) {
-        d.worker_partial.insert(line);
-      }
-    }
-  }
-  return d;
-}
-
 // --- The scanner ------------------------------------------------------------
 
 const std::set<std::string>& Ec1CallNames() {
@@ -189,21 +18,6 @@ const std::set<std::string>& Ec1CallNames() {
       "SubmitRead",   "SubmitWrite", "ChargeCpuCoresAt",
       "ChargeDramAccess", "AdvanceTo", "meter"};
   return kNames;
-}
-
-const std::set<std::string>& Ec5BannedNames() {
-  static const std::set<std::string> kNames = {
-      "rand",          "srand",         "drand48",
-      "lrand48",       "random_device", "random_shuffle",
-      "system_clock",  "steady_clock",  "high_resolution_clock",
-      "gettimeofday",  "clock_gettime"};
-  return kNames;
-}
-
-bool IsStatementKeyword(const std::string& t) {
-  static const std::set<std::string> kKeywords = {
-      "return", "if", "else", "while", "for", "do", "switch", "case", "co_return"};
-  return kKeywords.count(t) > 0;
 }
 
 bool ContainsCharged(const std::string& s) {
@@ -218,10 +32,6 @@ bool ContainsSpill(const std::string& s) {
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return lower.find("spill") != std::string::npos;
-}
-
-bool IsUnorderedTypeName(const std::string& t) {
-  return t.rfind("unordered_", 0) == 0;
 }
 
 /// EC6: identifiers that mark a loop as a retry loop.
@@ -283,11 +93,7 @@ class Scanner {
   }
 
   void Report(const std::string& rule, int line, const std::string& message) {
-    auto it = directives_.nolint.find(line);
-    if (it != directives_.nolint.end() &&
-        (it->second.count("*") || it->second.count(rule))) {
-      return;
-    }
+    if (directives_.Suppressed(rule, line)) return;
     if (!seen_.insert(rule + ":" + std::to_string(line)).second) return;
     findings_.push_back({rule, path_, line, message, LineText(line)});
   }
@@ -604,7 +410,7 @@ std::vector<Finding> Scanner::Run() {
     }
 
     // ---- EC5: banned nondeterminism sources -------------------------------
-    if (in_exec_ && Ec5BannedNames().count(tok.text)) {
+    if (in_exec_ && BannedEntropyNames().count(tok.text)) {
       Report("EC5", tok.line,
              "'" + tok.text +
                  "' is nondeterministic: accounting and row order must be "
@@ -727,27 +533,7 @@ std::vector<Finding> LintSource(
 }
 
 std::set<std::string> HarvestUnorderedNames(const std::string& content) {
-  std::set<std::string> names;
-  const std::vector<Token> tokens = Tokenize(content);
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].ident || !IsUnorderedTypeName(tokens[i].text)) continue;
-    size_t k = i + 1;
-    int angle = 0;
-    std::string last_ident;
-    for (; k < tokens.size(); ++k) {
-      const std::string& t = tokens[k].text;
-      if (t == "<") { ++angle; continue; }
-      if (t == ">") { if (angle > 0) --angle; continue; }
-      if (angle > 0) continue;
-      if (t == ";" || t == "=" || t == "(" || t == "{" || t == ":" ||
-          t == ")" || t == ",") {
-        break;
-      }
-      if (tokens[k].ident) last_ident = t;
-    }
-    if (!last_ident.empty()) names.insert(last_ident);
-  }
-  return names;
+  return CollectUnorderedNames(Tokenize(content));
 }
 
 std::string Fingerprint(const Finding& f) {

@@ -36,6 +36,25 @@
 //                          constructed with a session identity — anonymous
 //                          contexts produce Joules nobody is billed for.
 //
+// Three further rules (EC8–EC10) are interprocedural: they run over a
+// project-wide symbol index and call graph built from the same token
+// stream (see index.h / interproc.h) and are reported by LintProject
+// rather than LintSource:
+//   EC8  transitive-determinism  Nothing reachable from a src/exec or
+//                          src/sched entry point may touch the banned
+//                          entropy/wall-clock set or iterate an unordered
+//                          container — EC5's guarantee, carried across
+//                          translation units.
+//   EC9  lock-discipline   One global mutex acquisition order across
+//                          src/sched and src/catalog (inversions and
+//                          re-entry are flagged from the observed lock
+//                          graph), and no settlement call while any lock
+//                          is held — directly or through a callee.
+//   EC10 no-dropped-status A statement-level call whose every candidate
+//                          definition returns Status/StatusOr must not
+//                          discard the result, including through wrappers
+//                          whose own return type carries the obligation.
+//
 // Annotations (in ordinary // comments):
 //   // ecodb-lint: worker-context     marks the rest of the enclosing scope
 //                                     as running on pool workers
@@ -46,7 +65,12 @@
 //   // NOLINT-ECODB(EC1,EC4)          suppresses the named rules on this
 //                                     line (or the next line when the
 //                                     comment stands alone); bare
-//                                     NOLINT-ECODB suppresses every rule
+//                                     NOLINT-ECODB suppresses every rule.
+//                                     A suppression covers the whole
+//                                     statement it lands on, including
+//                                     continuation lines of a multi-line
+//                                     call — a formatter rewrap must not
+//                                     re-arm the rule
 
 #ifndef ECODB_TOOLS_LINT_LINT_H_
 #define ECODB_TOOLS_LINT_LINT_H_
@@ -58,7 +82,7 @@
 namespace ecodb::lint {
 
 struct Finding {
-  std::string rule;     // "EC1".."EC7"
+  std::string rule;     // "EC1".."EC10"
   std::string file;     // path label the content was linted under
   int line = 0;         // 1-based
   std::string message;  // human explanation

@@ -1,6 +1,7 @@
 // Tests for ecodb-lint: each EC rule must catch its seeded-violation
 // fixture, annotated/suppressed code must lint clean, and the baseline and
-// render plumbing must round-trip.
+// render plumbing must round-trip. The cross-TU rules (EC8–EC10) are
+// exercised through LintProject over small multi-file fixture sets.
 
 #include "lint.h"
 
@@ -9,9 +10,11 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "interproc.h"
 
 namespace ecodb::lint {
 namespace {
@@ -218,6 +221,206 @@ TEST(EcodbLint, NolintForADifferentRuleDoesNotSuppress) {
       "}\n";
   const auto findings = LintSource("src/exec/wrong_rule.cc", src);
   EXPECT_EQ(LinesForRule(findings, "EC1"), (std::set<int>{2}))
+      << RenderText(findings);
+}
+
+// --- Cross-TU rules (EC8–EC10) ----------------------------------------------
+
+std::vector<Finding> LintFixtureProject(
+    const std::vector<std::pair<std::string, std::string>>& labeled) {
+  std::vector<SourceFile> files;
+  files.reserve(labeled.size());
+  for (const auto& [label, fixture] : labeled) {
+    files.push_back({label, ReadFixture(fixture)});
+  }
+  return LintProject(files);
+}
+
+std::set<int> ProjectLines(const std::vector<Finding>& findings,
+                           const std::string& rule, const std::string& file) {
+  std::set<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.file == file) lines.insert(f.line);
+  }
+  return lines;
+}
+
+TEST(EcodbLint, Ec8FlagsCrossFileChainsFromExecToUtil) {
+  const auto findings = LintFixtureProject(
+      {{"src/exec/ec8_exec_chain.cc", "ec8_exec_chain.cc"},
+       {"src/util/ec8_util.cc", "ec8_util.cc"}});
+  // Both entry operators reach nondeterminism through src/util: Open ->
+  // JitterDelay -> rand(), Next -> WallClockSeconds -> system_clock. The
+  // findings land on the entry's call site, naming the chain.
+  EXPECT_EQ(ProjectLines(findings, "EC8", "src/exec/ec8_exec_chain.cc"),
+            (std::set<int>{9, 14}))
+      << RenderText(findings);
+  bool chain_rendered = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "EC8" && f.message.find("call chain") != std::string::npos &&
+        f.message.find("JitterDelay") != std::string::npos &&
+        f.message.find("rand") != std::string::npos) {
+      chain_rendered = true;
+    }
+  }
+  EXPECT_TRUE(chain_rendered) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec8ReportsSchedulerOwnBodies) {
+  const auto findings =
+      LintFixtureProject({{"src/sched/ec8_sched.cc", "ec8_sched.cc"}});
+  // std::random_device and the range-for over the unordered_map member
+  // (harvested from the same file) are reported directly: src/sched is
+  // outside EC5's textual scope, so the project pass owns them.
+  EXPECT_EQ(ProjectLines(findings, "EC8", "src/sched/ec8_sched.cc"),
+            (std::set<int>{16, 18}))
+      << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec8LeavesExecBodiesToEc5) {
+  // The same entropy inside a src/exec body is EC5's (per-file, textual)
+  // business; EC8 reporting it again would double-count every finding.
+  const std::string src =
+      "void ScanOp::Next(RecordBatch* out) {\n"
+      "  out->Append(rand());\n"
+      "}\n";
+  const auto findings = LintProject({{"src/exec/scan_op.cc", src}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec8ChainSiteHonoursSuppression) {
+  const std::string entry =
+      "void ScanOp::Open(ExecContext* ctx) {\n"
+      "  // NOLINT-ECODB(EC8): startup jitter is outside the billed window\n"
+      "  ctx->set_open_delay(util::JitterDelay(8));\n"
+      "}\n";
+  const auto findings = LintProject(
+      {{"src/exec/scan_op.cc", entry},
+       {"src/util/jitter.cc",
+        "namespace ecodb::util {\n"
+        "int JitterDelay(int bound) { return rand() % bound; }\n"
+        "}  // namespace ecodb::util\n"}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec9FlagsInvertedLockPairsAcrossFiles) {
+  const auto findings =
+      LintFixtureProject({{"src/sched/ec9_order_a.cc", "ec9_order_a.cc"},
+                          {"src/catalog/ec9_order_b.cc", "ec9_order_b.cc"}});
+  // a.cc:15 takes admission_mu -> billing_mu, b.cc:10 the inverse; both
+  // directions are reported, each citing the other site. a.cc:21 settles
+  // directly under a lock, a.cc:30 through PublishTotals, and b.cc:15
+  // re-enters BillingCatalog::mu_ through RecomputeLocked.
+  EXPECT_EQ(ProjectLines(findings, "EC9", "src/sched/ec9_order_a.cc"),
+            (std::set<int>{15, 21, 30}))
+      << RenderText(findings);
+  EXPECT_EQ(ProjectLines(findings, "EC9", "src/catalog/ec9_order_b.cc"),
+            (std::set<int>{10, 15}))
+      << RenderText(findings);
+  bool cites_inverse = false;
+  for (const Finding& f : findings) {
+    if (f.message.find("inconsistent lock order") != std::string::npos &&
+        f.message.find("src/catalog/ec9_order_b.cc:10") != std::string::npos) {
+      cites_inverse = true;
+    }
+  }
+  EXPECT_TRUE(cites_inverse) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec9IgnoresOrderingOutsideSchedAndCatalog) {
+  // The same inverted pair in src/storage is not EC9's business: the rule
+  // covers the serving path's shared structures, not device internals.
+  const auto findings =
+      LintFixtureProject({{"src/storage/ec9_order_a.cc", "ec9_order_a.cc"},
+                          {"src/storage/ec9_order_b.cc", "ec9_order_b.cc"}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec9AmbiguousMemberCallStaysUnknown) {
+  // Two unrelated classes define Count(); a member call through a field
+  // must not link to the lock-taking one and invent a self-deadlock.
+  const std::string src =
+      "namespace ecodb::catalog {\n"
+      "class Registry {\n"
+      " public:\n"
+      "  size_t Count() const {\n"
+      "    std::shared_lock lock(mu_);\n"
+      "    return entries_.size();\n"
+      "  }\n"
+      "  void Install(TableEntry entry);\n"
+      "};\n"
+      "class Window {\n"
+      " public:\n"
+      "  size_t Count() const { return width_; }\n"
+      "};\n"
+      "void Registry::Install(TableEntry entry) {\n"
+      "  std::unique_lock lock(mu_);\n"
+      "  entry.stats.resize(entry.schema.Count());\n"
+      "}\n"
+      "}  // namespace ecodb::catalog\n";
+  const auto findings = LintProject({{"src/catalog/registry.cc", src}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec10FlagsDroppedStatusAcrossFiles) {
+  const auto findings =
+      LintFixtureProject({{"src/storage/ec10_status_lib.cc",
+                           "ec10_status_lib.cc"},
+                          {"src/txn/ec10_discards.cc", "ec10_discards.cc"}});
+  // Drain() (member), DrainAll() (a wrapper defined in the other file whose
+  // Status return carries the obligation through), and Reserve() (StatusOr)
+  // are dropped; depth(), the (void) cast, the consumed call, and the
+  // macro-wrapped call are not.
+  EXPECT_EQ(ProjectLines(findings, "EC10", "src/txn/ec10_discards.cc"),
+            (std::set<int>{8, 9, 10}))
+      << RenderText(findings);
+  EXPECT_EQ(ProjectLines(findings, "EC10", "src/storage/ec10_status_lib.cc"),
+            (std::set<int>{}))
+      << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec10UnknownCalleeIsNotGuessedAt) {
+  // FlushRemote has no definition in the project: the discard may be fine
+  // (void return, int return — who knows), so the conservative fallback is
+  // to stay quiet rather than cry wolf.
+  const std::string src =
+      "void Sync(RemoteLog* log) {\n"
+      "  log->FlushRemote();\n"
+      "}\n";
+  const auto findings = LintProject({{"src/txn/sync.cc", src}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, ProjectPassReportsPerRuleTimings) {
+  ProjectTimings timings;
+  timings.index_seconds = -1;
+  timings.ec8_seconds = -1;
+  timings.ec9_seconds = -1;
+  timings.ec10_seconds = -1;
+  const std::vector<SourceFile> files = {
+      {"src/exec/ec8_exec_chain.cc", ReadFixture("ec8_exec_chain.cc")},
+      {"src/util/ec8_util.cc", ReadFixture("ec8_util.cc")}};
+  (void)LintProject(files, &timings);
+  EXPECT_GE(timings.index_seconds, 0.0);
+  EXPECT_GE(timings.ec8_seconds, 0.0);
+  EXPECT_GE(timings.ec9_seconds, 0.0);
+  EXPECT_GE(timings.ec10_seconds, 0.0);
+}
+
+TEST(EcodbLint, NolintCoversMultiLineStatementContinuation) {
+  // A suppression on the line that opens a statement covers the statement's
+  // continuation lines too — a clang-format rewrap must not re-arm the rule.
+  const std::string src =
+      "void Replay(storage::StorageDevice* dev) {\n"
+      "  // NOLINT-ECODB(EC1): replay bills through the log device directly\n"
+      "  dev->SubmitRead(0.0,\n"
+      "                  4096,\n"
+      "                  true);\n"
+      "  dev->SubmitWrite(0.0, 4096, true);\n"
+      "}\n";
+  const auto findings = LintSource("src/exec/replay.cc", src);
+  // Only the statement after the suppressed one fires.
+  EXPECT_EQ(LinesForRule(findings, "EC1"), (std::set<int>{6}))
       << RenderText(findings);
 }
 
