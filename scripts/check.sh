@@ -42,23 +42,28 @@ run ./build/bench/serving_sweep --smoke
 #     with seconds, replans are deterministic).
 run ./build/bench/ablate_join_order --smoke
 
+# 3c. Overload smoke: the burst sweep's shape checks enforce the DESIGN §14
+#     contract (deadline kills and sheds keep their Joules on the bill, the
+#     power-cap ladder engages, books balance at every load point).
+run ./build/bench/overload_sweep --smoke
+
 # 4. Sanitizer matrix. tsan filters to the concurrency-sensitive suites;
-#    asan and ubsan run everything. The fault-injection, serving, and
-#    join-differential suites (`-L 'faults|serving|joins'`) then re-run
-#    explicitly under each sanitizer so retry/degraded-mode, admission, and
-#    join-order-equivalence regressions are reported by name even when a
-#    full run is noisy.
+#    asan and ubsan run everything. The fault-injection, serving, overload,
+#    and join-differential suites (`-L 'faults|serving|overload|joins'`)
+#    then re-run explicitly under each sanitizer so retry/degraded-mode,
+#    admission, cancellation, and join-order-equivalence regressions are
+#    reported by name even when a full run is noisy.
 for san in tsan asan ubsan; do
   run cmake --preset "$san"
   run cmake --build --preset "$san" -j "$jobs"
   run ctest --preset "$san" -j "$jobs"
-  run ctest --test-dir "build-$san" -L 'faults|serving|joins' \
+  run ctest --test-dir "build-$san" -L 'faults|serving|overload|joins' \
       --output-on-failure -j "$jobs"
 done
 
 # 5. Energy-accounting linter over src/ (also covered by `ctest -L lint`,
 #    but run it standalone so failures print the findings directly).
-#    Full EC1–EC10 sweep: the JSON report is persisted for tooling, stale
+#    Full EC1–EC11 sweep: the JSON report is persisted for tooling, stale
 #    baseline entries (fingerprints no finding matches anymore) fail the
 #    run, and --timings keeps the cross-TU pass cost visible as src/ grows.
 echo "==> ecodb-lint --format json src (persisted to build/lint-report.json)"

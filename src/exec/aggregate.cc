@@ -178,9 +178,11 @@ Status HashAggregateOp::Consume(const RecordBatch& batch) {
 }
 
 Status HashAggregateOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (!computed_) {
     bool child_eos = false;
     while (true) {
+      ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
       RecordBatch batch;
       ECODB_RETURN_IF_ERROR(child_->Next(&batch, &child_eos));
       if (child_eos) break;

@@ -105,12 +105,45 @@ WorkerPool* ExecContext::worker_pool() {
 }
 
 double ExecContext::CpuElapsedSeconds() const {
-  const int cores = std::min(options_.dop, platform_->cpu().total_cores());
+  // Serving-core sessions run on the serial-equivalent timeline: the dop
+  // may shorten the real CPU leg, but the serving schedule (slot reuse,
+  // queue projections, deadlines) must be a pure function of (seed, trace,
+  // config) — so the scheduling clock ignores it (DESIGN §14).
+  const int cores = session_.valid()
+                        ? 1
+                        : std::min(options_.dop, platform_->cpu().total_cores());
   const double parallel_seconds = platform_->cpu().SecondsForInstructions(
       cpu_instructions_, options_.pstate);
   const double serial_seconds = platform_->cpu().SecondsForInstructions(
       serial_cpu_instructions_, options_.pstate);
   return serial_seconds + parallel_seconds / static_cast<double>(cores);
+}
+
+double ExecContext::VirtualCpuSeconds() const {
+  return platform_->cpu().SecondsForInstructions(
+      cpu_instructions_ + serial_cpu_instructions_, options_.pstate);
+}
+
+Status ExecContext::PollCancel() {
+  if (cancel_.cancelled()) {
+    if (cancel_.reason == CancelReason::kDeadline) {
+      return Status::DeadlineExceeded("session deadline exceeded");
+    }
+    return Status::Shed("session killed by the serving core");
+  }
+  if (cancel_.deadline_s ==
+      std::numeric_limits<double>::infinity()) {
+    return Status::OK();
+  }
+  // Projected completion if the query stopped charging now: the virtual
+  // CPU leg (dop-invariant by construction) races the I/O horizon.
+  const double projected =
+      std::max(start_time_ + VirtualCpuSeconds(), io_completion_);
+  if (projected >= cancel_.deadline_s) {
+    cancel_.Cancel(CancelReason::kDeadline);
+    return Status::DeadlineExceeded("session deadline exceeded");
+  }
+  return Status::OK();
 }
 
 QueryStats ExecContext::Complete() {

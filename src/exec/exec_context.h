@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/cancel.h"
 #include "exec/worker_pool.h"
 #include "power/platform.h"
 #include "storage/device.h"
@@ -151,6 +152,30 @@ class ExecContext {
   power::HardwarePlatform* platform() { return platform_; }
   const SessionTag& session() const { return session_; }
 
+  // --- Cooperative cancellation (overload protection, DESIGN §14) -------
+
+  /// Installs the session's cancellation state (deadline and/or explicit
+  /// kill reason). The serving core sets this at admission.
+  void set_cancel_token(const CancelToken& token) { cancel_ = token; }
+  const CancelToken& cancel_token() const { return cancel_; }
+
+  /// Cooperative cancellation check, called by every operator pull loop at
+  /// batch/morsel boundaries (lint rule EC11). Returns kShed when the token
+  /// carries an explicit kill, kDeadlineExceeded when the query's projected
+  /// critical path — start + virtual CPU seconds vs. I/O completion, both
+  /// pure functions of the charged work — has reached the deadline. The
+  /// projection deliberately ignores the dop (VirtualCpuSeconds), so the
+  /// kill lands at the same batch boundary at every dop and killed sessions
+  /// stay bit-identical under the §7 contract. Charges already booked stay
+  /// booked: partial work is billed work.
+  Status PollCancel();
+
+  /// The dop-invariant CPU leg of the critical path: all charged
+  /// instructions priced on one core (serial + parallel, undivided). This
+  /// is the serving core's scheduling/billing timeline (§14) and the
+  /// deadline projection's clock.
+  double VirtualCpuSeconds() const;
+
   /// Records `instructions` of CPU work (parallelizable across dop cores).
   void ChargeInstructions(double instructions);
 
@@ -215,7 +240,9 @@ class ExecContext {
 
   /// Elapsed CPU wall-seconds implied by the charged instructions at the
   /// configured dop/P-state: serial charges do not divide by the core
-  /// count.
+  /// count. Serving-core contexts (valid session tag) instead price every
+  /// instruction on one core — the §14 determinism choice: the serving
+  /// schedule, and therefore every bill, is identical at any dop.
   double CpuElapsedSeconds() const;
 
   /// Ends the query: advances the clock to the critical-path completion,
@@ -238,6 +265,7 @@ class ExecContext {
   power::HardwarePlatform* platform_;
   ExecOptions options_;
   SessionTag session_;
+  CancelToken cancel_;
   double start_time_;
   power::MeterSnapshot start_snapshot_;
   double cpu_instructions_ = 0.0;

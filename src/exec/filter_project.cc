@@ -13,6 +13,7 @@ Status FilterOp::Open(ExecContext* ctx) {
 
 Status FilterOp::Next(RecordBatch* out, bool* eos) {
   while (true) {
+    ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(child_->Next(&batch, eos));
     if (*eos) return Status::OK();
@@ -52,6 +53,7 @@ Status ProjectOp::Open(ExecContext* ctx) {
 }
 
 Status ProjectOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   RecordBatch batch;
   ECODB_RETURN_IF_ERROR(child_->Next(&batch, eos));
   if (*eos) return Status::OK();

@@ -58,10 +58,12 @@ Status IndexScanOp::Open(ExecContext* ctx) {
 
   if (table_->device() != nullptr) {
     for (size_t i = 0; i < index_pages; ++i) {
+      ECODB_RETURN_IF_ERROR(ctx->PollCancel());
       ECODB_RETURN_IF_ERROR(
           ctx->ChargeRead(table_->device(), page, /*sequential=*/false));
     }
     for (size_t i = 0; i < heap_pages_; ++i) {
+      ECODB_RETURN_IF_ERROR(ctx->PollCancel());
       ECODB_RETURN_IF_ERROR(
           ctx->ChargeRead(table_->device(), page, /*sequential=*/false));
     }
@@ -80,6 +82,7 @@ Status IndexScanOp::Open(ExecContext* ctx) {
 
 Status IndexScanOp::Next(RecordBatch* out, bool* eos) {
   if (!open_) return Status::FailedPrecondition("index scan not open");
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (cursor_ >= row_ids_.size()) {
     *eos = true;
     return Status::OK();

@@ -22,18 +22,20 @@ catalog::Schema JoinedSchema(const catalog::Schema& left,
 
 namespace {
 
-/// Materializes everything a child produces into one batch.
+/// Materializes everything a child produces into one batch. Polls the
+/// cancellation token per batch: a killed session stops draining at a
+/// deterministic batch boundary with its partial charges intact.
 Status Drain(Operator* child, ExecContext* ctx, RecordBatch* out) {
   *out = RecordBatch(child->output_schema());
   bool eos = false;
   while (true) {
+    ECODB_RETURN_IF_ERROR(ctx->PollCancel());
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(child->Next(&batch, &eos));
     if (eos) return Status::OK();
     for (size_t r = 0; r < batch.num_rows(); ++r) {
       out->AppendRowFrom(batch, r);
     }
-    (void)ctx;
   }
 }
 
@@ -169,6 +171,7 @@ Status HashJoinOp::ProbeBatch(const RecordBatch& probe, RecordBatch* joined,
 
 Status HashJoinOp::ParallelProbe() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   const size_t n_morsels = probe_source_->morsel_count();
   probe_slots_.assign(n_morsels, RecordBatch{});
   std::vector<size_t> match_counts(n_morsels, 0);
@@ -202,6 +205,7 @@ Status HashJoinOp::ParallelProbe() {
 
 Status HashJoinOp::Next(RecordBatch* out, bool* eos) {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (probe_source_ != nullptr) {
     if (!probed_) ECODB_RETURN_IF_ERROR(ParallelProbe());
     if (probe_cursor_ >= probe_slots_.size()) {
@@ -214,6 +218,7 @@ Status HashJoinOp::Next(RecordBatch* out, bool* eos) {
     return Status::OK();
   }
   while (true) {
+    ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
     RecordBatch probe;
     ECODB_RETURN_IF_ERROR(left_->Next(&probe, eos));
     if (*eos) return Status::OK();
@@ -258,6 +263,7 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
 
 Status NestedLoopJoinOp::Next(RecordBatch* out, bool* eos) {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   RecordBatch outer;
   ECODB_RETURN_IF_ERROR(left_->Next(&outer, eos));
   if (*eos) return Status::OK();
@@ -374,6 +380,7 @@ Status MergeJoinOp::Open(ExecContext* ctx) {
 }
 
 Status MergeJoinOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   const size_t batch_rows = ctx_->options().batch_rows;
   if (cursor_ >= output_.num_rows()) {
     *eos = true;

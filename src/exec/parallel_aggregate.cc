@@ -38,6 +38,7 @@ void ParallelHashAggregateOp::ChargeUpdate(uint64_t rows) {
 
 Status ParallelHashAggregateOp::Compute() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr) {
     const size_t n_morsels = source->morsel_count();
@@ -80,6 +81,7 @@ Status ParallelHashAggregateOp::Compute() {
     // Serial fallback: same drain + arithmetic as HashAggregateOp.
     bool child_eos = false;
     while (true) {
+      ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
       RecordBatch batch;
       ECODB_RETURN_IF_ERROR(child_->Next(&batch, &child_eos));
       if (child_eos) break;
@@ -106,6 +108,7 @@ Status ParallelHashAggregateOp::Compute() {
 
 Status ParallelHashAggregateOp::Next(RecordBatch* out, bool* eos) {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (!computed_) ECODB_RETURN_IF_ERROR(Compute());
 
   if (cursor_ >= emit_order_.size()) {

@@ -35,6 +35,7 @@ ParallelTableScanOp::ParallelTableScanOp(const storage::TableStorage* table,
 Status ParallelTableScanOp::Open(ExecContext* ctx) {
   // ecodb-lint: coordinator-only
   ctx_ = ctx;
+  ECODB_RETURN_IF_ERROR(ctx->PollCancel());
 
   column_indexes_.clear();
   if (column_names_.empty()) {
@@ -157,6 +158,7 @@ Status ParallelTableScanOp::ProduceMorsel(size_t index, RecordBatch* out,
 
 Status ParallelTableScanOp::Materialize() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   WorkerPool* pool = ctx_->worker_pool();
   slots_.assign(morsels_.size(), RecordBatch{});
   std::vector<WorkAccumulator> accs(
@@ -174,6 +176,7 @@ Status ParallelTableScanOp::Materialize() {
 
 Status ParallelTableScanOp::Next(RecordBatch* out, bool* eos) {
   if (!open_) return Status::FailedPrecondition("parallel scan not open");
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (!materialized_) ECODB_RETURN_IF_ERROR(Materialize());
   if (cursor_ >= slots_.size()) {
     *eos = true;

@@ -48,6 +48,7 @@ RecordBatch ParallelSortOp::SortRun(RecordBatch batch) const {
 
 Status ParallelSortOp::FormRuns() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr && source->morsel_count() > 0) {
     const size_t n_morsels = source->morsel_count();
@@ -71,6 +72,7 @@ Status ParallelSortOp::FormRuns() {
     RecordBatch all(child_->output_schema());
     bool eos = false;
     while (true) {
+      ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
       RecordBatch batch;
       ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
       if (eos) break;
@@ -133,6 +135,7 @@ Status ParallelSortOp::SettleRunCharges() {
 
 Status ParallelSortOp::MergeRuns() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   partitions_.clear();
   num_partitions_ = 0;
   uint64_t total_rows = 0;
@@ -271,6 +274,7 @@ Status ParallelSortOp::Open(ExecContext* ctx) {
 }
 
 Status ParallelSortOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   while (cursor_ < partitions_.size() &&
          partitions_[cursor_].num_rows() == 0) {
     ++cursor_;

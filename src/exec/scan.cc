@@ -8,11 +8,15 @@
 namespace ecodb::exec {
 
 StatusOr<QueryResultSet> CollectAll(Operator* root, ExecContext* ctx) {
+  // Poll before Open so a session whose deadline sits exactly at its
+  // admission instant stops before charging any work at all.
+  ECODB_RETURN_IF_ERROR(ctx->PollCancel());
   ECODB_RETURN_IF_ERROR(root->Open(ctx));
   QueryResultSet result;
   result.schema = root->output_schema();
   bool eos = false;
   while (!eos) {
+    ECODB_RETURN_IF_ERROR(ctx->PollCancel());
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(root->Next(&batch, &eos));
     if (batch.num_rows() > 0) {
@@ -281,6 +285,7 @@ Status TableScanOp::Open(ExecContext* ctx) {
 
 Status TableScanOp::Next(RecordBatch* out, bool* eos) {
   if (!open_) return Status::FailedPrecondition("scan not open");
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   // Advance past exhausted ranges.
   while (range_idx_ < ranges_.size() && cursor_ >= ranges_[range_idx_].end) {
     ++range_idx_;

@@ -73,6 +73,10 @@ Status SortOp::Open(ExecContext* ctx) {
   bool eos = false;
   uint64_t bytes = 0;
   while (true) {
+    // Polled per batch: a session killed mid-spill keeps the spill
+    // watermarks, so the bytes already written stay billed exactly once
+    // and nothing after the kill point is charged.
+    ECODB_RETURN_IF_ERROR(ctx->PollCancel());
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
     if (eos) break;
@@ -121,6 +125,7 @@ Status SortOp::Open(ExecContext* ctx) {
 }
 
 Status SortOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (cursor_ >= order_.size()) {
     *eos = true;
     return Status::OK();
@@ -143,11 +148,13 @@ LimitOp::LimitOp(OperatorPtr child, size_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
 Status LimitOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
   emitted_ = 0;
   return child_->Open(ctx);
 }
 
 Status LimitOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (emitted_ >= limit_) {
     *eos = true;
     return Status::OK();

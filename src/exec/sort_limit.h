@@ -85,6 +85,7 @@ class LimitOp final : public Operator {
   OperatorPtr child_;
   size_t limit_;
   size_t emitted_ = 0;
+  ExecContext* ctx_ = nullptr;
 };
 
 }  // namespace ecodb::exec

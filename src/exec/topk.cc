@@ -55,6 +55,9 @@ Status TopKOp::Open(ExecContext* ctx) {
   uint64_t pos = 0;
   bool eos = false;
   while (true) {
+    // Polled per batch so a killed session stops at a deterministic
+    // boundary with its spill watermarks (and hence its bill) intact.
+    ECODB_RETURN_IF_ERROR(ctx->PollCancel());
     RecordBatch batch;
     ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
     if (eos) break;
@@ -116,6 +119,7 @@ Status TopKOp::Open(ExecContext* ctx) {
 }
 
 Status TopKOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (cursor_ >= order_.size()) {
     *eos = true;
     return Status::OK();
@@ -176,6 +180,7 @@ ParallelTopKOp::CandidateRun ParallelTopKOp::ReduceMorsel(
 
 Status ParallelTopKOp::FormRuns() {
   // ecodb-lint: coordinator-only
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   auto* source = dynamic_cast<MorselSource*>(child_.get());
   if (source != nullptr && source->morsel_count() > 0) {
     const size_t n_morsels = source->morsel_count();
@@ -199,6 +204,7 @@ Status ParallelTopKOp::FormRuns() {
     RecordBatch all(child_->output_schema());
     bool eos = false;
     while (true) {
+      ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
       RecordBatch batch;
       ECODB_RETURN_IF_ERROR(child_->Next(&batch, &eos));
       if (eos) break;
@@ -341,6 +347,7 @@ Status ParallelTopKOp::Open(ExecContext* ctx) {
 }
 
 Status ParallelTopKOp::Next(RecordBatch* out, bool* eos) {
+  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());
   if (cursor_ >= result_.num_rows()) {
     *eos = true;
     return Status::OK();

@@ -1,0 +1,78 @@
+#include "power/power_cap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecodb::power {
+
+PowerCapGovernor::PowerCapGovernor(const PowerCapConfig& config,
+                                   int base_fleet)
+    : config_(config), base_fleet_(base_fleet) {
+  const int narrow_steps = std::max(0, base_fleet_ - config_.min_fleet);
+  // One extra notch past the last fleet step: the shed regime.
+  max_level_ = config_.max_pstate_steps + narrow_steps + 1;
+}
+
+Status PowerCapGovernor::Validate(const PowerCapConfig& config,
+                                  int base_fleet) {
+  if (!config.enabled) return Status::OK();
+  if (!std::isfinite(config.cap_watts) || config.cap_watts < 0.0) {
+    return Status::InvalidArgument("power cap must be finite and >= 0 W");
+  }
+  if (!(config.window_s > 0.0) || !std::isfinite(config.window_s)) {
+    return Status::InvalidArgument("power-cap window must be > 0 s");
+  }
+  if (config.max_pstate_steps < 0) {
+    return Status::InvalidArgument("max_pstate_steps must be >= 0");
+  }
+  if (config.min_fleet < 1 || config.min_fleet > base_fleet) {
+    return Status::InvalidArgument(
+        "min_fleet must be in [1, worker_fleet]");
+  }
+  if (!(config.resume_fraction > 0.0) || config.resume_fraction > 1.0) {
+    return Status::InvalidArgument("resume_fraction must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+void PowerCapGovernor::RecordEnergy(double end_s, double joules) {
+  if (joules <= 0.0) return;
+  pulses_.emplace_back(end_s, joules);
+}
+
+double PowerCapGovernor::WindowedDrawWatts(double now_s) const {
+  double joules = 0.0;
+  for (const auto& [end_s, j] : pulses_) {
+    if (end_s > now_s - config_.window_s && end_s <= now_s) joules += j;
+  }
+  return joules / config_.window_s;
+}
+
+GovernorRegime PowerCapGovernor::RegimeAt(int level) const {
+  GovernorRegime regime;
+  regime.pstate_delta = std::min(level, config_.max_pstate_steps);
+  const int narrow = std::clamp(level - config_.max_pstate_steps, 0,
+                                base_fleet_ - config_.min_fleet);
+  regime.fleet = base_fleet_ - narrow;
+  regime.shed_new = level >= max_level_;
+  return regime;
+}
+
+GovernorRegime PowerCapGovernor::Observe(double now_s) {
+  const double draw = WindowedDrawWatts(now_s);
+  int next = level_;
+  if (draw > config_.cap_watts) {
+    next = std::min(level_ + 1, max_level_);
+  } else if (draw < config_.cap_watts * config_.resume_fraction) {
+    next = std::max(level_ - 1, 0);
+  }
+  if (next != level_) {
+    level_ = next;
+    const GovernorRegime regime = RegimeAt(level_);
+    events_.push_back({now_s, draw, level_, regime.pstate_delta, regime.fleet,
+                       regime.shed_new});
+  }
+  return RegimeAt(level_);
+}
+
+}  // namespace ecodb::power

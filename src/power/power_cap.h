@@ -1,0 +1,116 @@
+// PowerCapGovernor: graceful degradation under a facility power cap.
+//
+// Section 3 of the paper observes that data centers are provisioned for a
+// power envelope, not a throughput target: when the box approaches its cap
+// the right move is to degrade service quality, not to brown out. The
+// governor watches the windowed rate of billed Joules — the same quantity
+// the session bills settle, so the control signal is deterministic and
+// dop-invariant — and climbs a fixed degradation ladder one notch per
+// observation:
+//
+//   1. P-state downshift: admitted sessions run at slower, more efficient
+//      operating points (pstate_delta notches past the configured one).
+//   2. Fleet narrowing: admission slots are withdrawn down to `min_fleet`,
+//      trading queue time for draw.
+//   3. Shed: at the top of the ladder, newly released requests are refused
+//      outright (terminal state kShed, cause kPowerCap). Refusal never
+//      un-bills metered work: sessions killed mid-run keep every Joule they
+//      consumed, and a refused session simply bills nothing.
+//
+// The ladder steps down with hysteresis (draw must fall below
+// cap_watts * resume_fraction) so the regime does not flap at the cap.
+// Every transition is recorded as a GovernorEvent; replaying the same trace
+// reproduces the same event list bit-identically (DESIGN.md §14).
+
+#ifndef ECODB_POWER_POWER_CAP_H_
+#define ECODB_POWER_POWER_CAP_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecodb::power {
+
+/// Knobs of the power-cap governor. Disabled by default: with
+/// `enabled == false` the serving core never constructs a governor and the
+/// admission path is byte-identical to the uncapped one.
+struct PowerCapConfig {
+  bool enabled = false;
+  /// Windowed draw above this steps the ladder up. A zero cap is legal and
+  /// means "shed everything once any work has completed in the window" —
+  /// the degenerate zero-capacity box.
+  double cap_watts = 0.0;
+  /// Observation window for the draw estimate (seconds, simulated).
+  double window_s = 1.0;
+  /// How many P-state downshift notches the ladder may take before it
+  /// starts narrowing the fleet.
+  int max_pstate_steps = 0;
+  /// Fleet narrowing floor: the governor never withdraws slots below this.
+  int min_fleet = 1;
+  /// Hysteresis: the ladder steps down only when draw falls below
+  /// cap_watts * resume_fraction.
+  double resume_fraction = 0.8;
+};
+
+/// One ladder transition, recorded at the observation that caused it.
+struct GovernorEvent {
+  double time_s = 0.0;      // simulated time of the observation
+  double draw_watts = 0.0;  // windowed draw that triggered the step
+  int level = 0;            // ladder level after the step
+  int pstate_delta = 0;     // regime after the step
+  int fleet = 0;
+  bool shed_new = false;
+};
+
+/// The admission regime the ladder currently prescribes.
+struct GovernorRegime {
+  int pstate_delta = 0;   // extra P-state notches for admitted sessions
+  int fleet = 0;          // admission slots currently open
+  bool shed_new = false;  // refuse newly released requests
+};
+
+class PowerCapGovernor {
+ public:
+  /// `base_fleet` is the configured worker fleet the ladder narrows from.
+  PowerCapGovernor(const PowerCapConfig& config, int base_fleet);
+
+  /// Records a completed session's billed direct Joules at its end time.
+  /// Pulses may arrive out of time order (sessions overlap); the windowed
+  /// draw only ever sums pulses with end_s <= now, so insertion order
+  /// cannot perturb any decision.
+  void RecordEnergy(double end_s, double joules);
+
+  /// Billed direct Joules with end time in (now_s - window_s, now_s],
+  /// divided by the window.
+  double WindowedDrawWatts(double now_s) const;
+
+  /// Observes the draw at `now_s` and moves the ladder at most one notch
+  /// (up past the cap, down under the resume threshold). Returns the
+  /// regime in force after the observation.
+  GovernorRegime Observe(double now_s);
+
+  /// The regime currently in force (no observation).
+  GovernorRegime regime() const { return RegimeAt(level_); }
+
+  int level() const { return level_; }
+  int max_level() const { return max_level_; }
+  const std::vector<GovernorEvent>& events() const { return events_; }
+
+  /// InvalidArgument for non-finite caps, non-positive windows, a
+  /// narrowing floor above the fleet, or a resume fraction outside (0, 1].
+  static Status Validate(const PowerCapConfig& config, int base_fleet);
+
+ private:
+  GovernorRegime RegimeAt(int level) const;
+
+  PowerCapConfig config_;
+  int base_fleet_;
+  int max_level_;
+  int level_ = 0;
+  std::vector<std::pair<double, double>> pulses_;  // (end_s, joules)
+  std::vector<GovernorEvent> events_;
+};
+
+}  // namespace ecodb::power
+
+#endif  // ECODB_POWER_POWER_CAP_H_

@@ -9,27 +9,34 @@
 // the SharedScanManager — and bills every Joule the meter integrates to the
 // session that caused it (DESIGN.md §12).
 //
-// Determinism contract: the admission schedule is a pure function of
-// (seed, arrival trace, ServingConfig). Replaying the same trace yields
-// bit-identical admission order, per-session bills, and totals.
+// Determinism contract: the admission schedule — including every shed,
+// eviction, deadline kill, and power-cap regime change — is a pure function
+// of (seed, arrival trace, ServingConfig). Replaying the same trace yields
+// bit-identical decisions, per-session bills, and totals, at any dop
+// (DESIGN.md §14: serving sessions schedule and bill on the
+// serial-equivalent timeline).
 //
 // Conservation contract: sum(per-tenant bills) == the platform meter's
 // integral over the serving window, exactly. Direct pulses (CPU settlement,
 // DRAM traffic, device transfers, RAID reconstruction) bill the causing
 // session; the background/idle residual is apportioned by in-flight time
-// with the float remainder folded into the last-settled session, so the
-// books balance by construction.
+// with the float remainder folded into the last-settled session that did
+// real work, so the books balance by construction. Sessions that were shed,
+// evicted, or killed mid-run keep every Joule they consumed on their bill —
+// overload protection never un-bills work the meter already integrated.
 
 #ifndef ECODB_SCHED_SESSION_H_
 #define ECODB_SCHED_SESSION_H_
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "exec/exec_context.h"
 #include "exec/operator.h"
 #include "power/platform.h"
+#include "power/power_cap.h"
 #include "sched/batching.h"
 #include "sched/shared_scan.h"
 #include "sim/arrival_trace.h"
@@ -37,6 +44,47 @@
 #include "util/status.h"
 
 namespace ecodb::sched {
+
+/// How a session left the serving core.
+enum class SessionTerminal {
+  kCompleted = 0,  // ran to completion
+  kDeadline = 1,   // killed cooperatively when its deadline passed
+  kShed = 2,       // refused at release (backpressure or power cap)
+  kEvicted = 3,    // pushed out of the bounded queue by a higher priority
+};
+
+/// Why a session was refused (kShed / kEvicted terminals).
+enum class ShedCause {
+  kNone = 0,
+  kQueueFull = 1,  // bounded ready queue had no slot it could win
+  kQueueSlo = 2,   // projected queue time exceeded the tenant SLO
+  kTenantCap = 3,  // tenant already at its in-flight cap
+  kPowerCap = 4,   // governor at the top of the degradation ladder
+};
+
+const char* SessionTerminalName(SessionTerminal terminal);
+const char* ShedCauseName(ShedCause cause);
+
+/// Overload-protection knobs. The defaults disable every mechanism, so a
+/// default OverloadConfig reproduces the unprotected serving core
+/// byte-identically.
+struct OverloadConfig {
+  /// Per-session deadline, relative to arrival (simulated seconds).
+  /// Sessions still running past it are killed cooperatively at the next
+  /// cancellation poll; partial work stays billed. Infinity disables.
+  double relative_deadline_s = std::numeric_limits<double>::infinity();
+  /// Bounded ready queue: a release finding the queue full sheds the
+  /// lowest-priority loser (the arrival, or an evicted queued session when
+  /// the arrival outranks it). SIZE_MAX disables.
+  size_t max_queue_depth = SIZE_MAX;
+  /// Per-tenant in-flight cap (queued + running). INT32_MAX disables.
+  int per_tenant_inflight = INT32_MAX;
+  /// Queue-time SLO: a release whose projected queue time exceeds this is
+  /// shed at arrival instead of admitted late. Infinity disables.
+  double queue_slo_s = std::numeric_limits<double>::infinity();
+  /// Power-cap degradation ladder (see power/power_cap.h).
+  power::PowerCapConfig power_cap;
+};
 
 /// Knobs of the serving core.
 struct ServingConfig {
@@ -50,6 +98,8 @@ struct ServingConfig {
   double share_window_s = 0.0;
   /// Execution knobs every admitted session runs with.
   exec::ExecOptions exec_options;
+  /// Deadlines, backpressure, and power-cap degradation.
+  OverloadConfig overload;
 };
 
 /// One session's energy bill: every component the meter integrated over the
@@ -61,9 +111,16 @@ struct SessionBill {
   int query_class = 0;
 
   double arrival_s = 0.0;  // trace arrival (absolute simulated time)
-  double admit_s = 0.0;    // admission instant (slot grant)
-  double end_s = 0.0;      // critical-path completion
+  double admit_s = 0.0;    // admission instant (slot grant; = decision
+                           // instant for shed/evicted sessions)
+  double end_s = 0.0;      // critical-path completion (or kill/shed instant)
   double queue_seconds = 0.0;  // admit_s - arrival_s
+  /// Absolute deadline this session ran under (infinity = none).
+  double deadline_s = std::numeric_limits<double>::infinity();
+
+  /// How the session left the serving core, and why it was refused.
+  SessionTerminal terminal = SessionTerminal::kCompleted;
+  ShedCause shed_cause = ShedCause::kNone;
 
   // --- The bill (Joules). TotalJoules() terms; mutually exclusive. ---
   double cpu_joules = 0.0;         // CPU settlement pulse
@@ -109,10 +166,20 @@ struct TenantBill {
 
 /// Everything one Serve() call produced.
 struct ServingReport {
-  /// Session bills in admission order.
+  /// Session bills in decision order (admissions and sheds interleave as
+  /// they were decided on the simulated timeline).
   std::vector<SessionBill> sessions;
   /// Tenant bills in ascending tenant id.
   std::vector<TenantBill> tenants;
+
+  // --- Overload-protection outcome counts. ---
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_deadline = 0;
+  uint64_t sessions_shed = 0;
+  uint64_t sessions_evicted = 0;
+  /// Degradation-ladder transitions, in simulated-time order (empty when
+  /// the power cap is disabled).
+  std::vector<power::GovernorEvent> governor_events;
 
   double window_start_s = 0.0;
   double window_end_s = 0.0;
@@ -125,8 +192,8 @@ struct ServingReport {
 
   SharedScanStats shared_scans;
   size_t batches_dispatched = 0;
-  /// FNV-1a over (session_id, tenant, admit bits, end bits) in admission
-  /// order; replay determinism is asserted on this.
+  /// FNV-1a over (session_id, tenant, admit bits, end bits, terminal,
+  /// shed cause) in decision order; replay determinism is asserted on this.
   uint64_t admission_fingerprint = 0;
 
   double JoulesPerQuery() const {
@@ -161,7 +228,10 @@ class SessionManager {
   /// `platform` must outlive the manager.
   SessionManager(power::HardwarePlatform* platform, ServingConfig config);
 
-  /// Runs the whole trace to completion and settles the books.
+  /// Runs the whole trace to completion and settles the books. Returns
+  /// InvalidArgument for a malformed ServingConfig (worker_fleet < 1,
+  /// negative windows, a bad power-cap ladder, ...); an empty trace is
+  /// legal and yields an empty report over a zero-length window.
   StatusOr<ServingReport> Serve(const sim::ArrivalTrace& trace,
                                 const QueryFactory& factory);
 

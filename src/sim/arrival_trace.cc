@@ -53,7 +53,14 @@ ArrivalTrace GenerateArrivalTrace(const ArrivalTraceSpec& spec) {
   double t = 0.0;
   for (size_t i = 0; i < spec.requests; ++i) {
     if (spec.mean_interarrival_s > 0.0) {
-      t += rng.Exponential(spec.mean_interarrival_s);
+      double gap = rng.Exponential(spec.mean_interarrival_s);
+      for (const BurstSpec& burst : spec.bursts) {
+        if (burst.rate_multiplier > 0.0 && t >= burst.start_s &&
+            t < burst.start_s + burst.duration_s) {
+          gap /= burst.rate_multiplier;
+        }
+      }
+      t += gap;
     }
     TraceRequest req;
     req.index = i;

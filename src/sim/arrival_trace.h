@@ -27,6 +27,17 @@ struct TraceRequest {
   int64_t param = 0;       // shape parameter (TPC-H-style substitution)
 };
 
+/// A load burst: while the running arrival time sits inside
+/// [start_s, start_s + duration_s), the drawn exponential gap is divided by
+/// `rate_multiplier`, so arrivals come that many times faster. Scaling the
+/// gap consumes no extra RNG draws — a spec with no bursts (or multiplier
+/// 1) generates a byte-identical trace, and overlapping bursts compound.
+struct BurstSpec {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double rate_multiplier = 1.0;
+};
+
 /// Generator knobs. Interarrival gaps are exponential (Poisson arrivals);
 /// tenants draw Zipf-skewed so heavy tenants emerge at theta > 0.
 struct ArrivalTraceSpec {
@@ -38,6 +49,7 @@ struct ArrivalTraceSpec {
   int priority_classes = 1;
   int query_classes = 3;
   int param_classes = 8;  // substitution rotation modulus
+  std::vector<BurstSpec> bursts;  // overload phases (empty = steady state)
 };
 
 struct ArrivalTrace {

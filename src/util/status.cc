@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kShed:
+      return "Shed";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,
   kDataLoss,
   kUnavailable,
+  kDeadlineExceeded,
+  kShed,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +74,14 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The serving core refused or aborted the work under overload or a
+  /// power cap (DESIGN.md §14). Partial charges stay on the session bill.
+  static Status Shed(std::string msg) {
+    return Status(StatusCode::kShed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -255,6 +255,36 @@ TEST(ServingTest, PriorityClassesAdmitFirst) {
   ExpectConserved(*report_or);
 }
 
+TEST(ServingTest, DefaultOverloadConfigLeavesEverySessionCompleted) {
+  // The OverloadConfig defaults disable every protection: no deadline, an
+  // unbounded queue, no tenant cap, no SLO, no governor. A default config
+  // must therefore complete the whole trace and record no refusals.
+  sim::ArrivalTraceSpec spec;
+  spec.seed = 13;
+  spec.tenants = 2;
+  spec.requests = 8;
+  spec.mean_interarrival_s = 0.01;
+  const sim::ArrivalTrace trace = sim::GenerateArrivalTrace(spec);
+
+  Rig rig = MakeRig();
+  sched::ServingConfig config;
+  config.worker_fleet = 2;
+  auto report_or = rig.db->Serve(
+      trace, config, tpch::MakeServingFactory(rig.orders, rig.lineitem));
+  ASSERT_TRUE(report_or.ok()) << report_or.status().message();
+  EXPECT_EQ(report_or->sessions_completed, trace.requests.size());
+  EXPECT_EQ(report_or->sessions_deadline, 0u);
+  EXPECT_EQ(report_or->sessions_shed, 0u);
+  EXPECT_EQ(report_or->sessions_evicted, 0u);
+  EXPECT_TRUE(report_or->governor_events.empty());
+  for (const sched::SessionBill& bill : report_or->sessions) {
+    EXPECT_EQ(bill.terminal, sched::SessionTerminal::kCompleted);
+    EXPECT_EQ(bill.shed_cause, sched::ShedCause::kNone);
+    EXPECT_TRUE(std::isinf(bill.deadline_s));
+  }
+  ExpectConserved(*report_or);
+}
+
 TEST(ServingTest, SharedScansReduceTotalJoules) {
   // Identical pricing-summary queries arriving back-to-back: with work
   // sharing on, followers ride the first session's lineitem transfer.

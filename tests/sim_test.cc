@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/arrival_trace.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
 
@@ -128,6 +129,52 @@ TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
   q.ScheduleAfter(1.5, [&] { fired = clock.now(); });
   q.RunAll();
   EXPECT_DOUBLE_EQ(fired, 11.5);
+}
+
+TEST(ArrivalTraceBursts, NoBurstsAndUnitMultiplierAreByteIdentical) {
+  ArrivalTraceSpec spec;
+  spec.seed = 9;
+  spec.requests = 64;
+  spec.mean_interarrival_s = 0.5;
+  spec.priority_classes = 2;
+  const ArrivalTrace plain = GenerateArrivalTrace(spec);
+
+  // A burst with multiplier 1 (and one with zero multiplier, which the
+  // generator ignores) must not perturb a single draw: burst scaling
+  // divides the drawn gap in place and consumes no extra randomness.
+  spec.bursts.push_back({0.0, 1e9, 1.0});
+  spec.bursts.push_back({0.0, 1e9, 0.0});
+  const ArrivalTrace scaled = GenerateArrivalTrace(spec);
+  EXPECT_EQ(plain.Fingerprint(), scaled.Fingerprint());
+}
+
+TEST(ArrivalTraceBursts, BurstCompressesGapsOnlyInsideItsWindow) {
+  ArrivalTraceSpec spec;
+  spec.seed = 9;
+  spec.requests = 256;
+  spec.mean_interarrival_s = 0.5;
+  const ArrivalTrace plain = GenerateArrivalTrace(spec);
+
+  spec.bursts.push_back({10.0, 20.0, 4.0});
+  const ArrivalTrace burst = GenerateArrivalTrace(spec);
+
+  // Same request stream, arrivals only pulled earlier — and strictly
+  // earlier once the burst window has compressed at least one gap.
+  ASSERT_EQ(burst.requests.size(), plain.requests.size());
+  auto count_in = [](const ArrivalTrace& t, double lo, double hi) {
+    size_t n = 0;
+    for (const TraceRequest& r : t.requests) {
+      if (r.arrival_s >= lo && r.arrival_s < hi) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_in(burst, 10.0, 30.0), count_in(plain, 10.0, 30.0));
+  for (size_t i = 0; i < plain.requests.size(); ++i) {
+    EXPECT_LE(burst.requests[i].arrival_s, plain.requests[i].arrival_s);
+    EXPECT_EQ(burst.requests[i].tenant_id, plain.requests[i].tenant_id);
+    EXPECT_EQ(burst.requests[i].priority, plain.requests[i].priority);
+    EXPECT_EQ(burst.requests[i].param, plain.requests[i].param);
+  }
 }
 
 TEST(EventQueue, PendingCountTracksCancellations) {

@@ -62,6 +62,7 @@ class ProjectAnalysis {
   std::vector<Finding> RunEc8();
   std::vector<Finding> RunEc9();
   std::vector<Finding> RunEc10();
+  std::vector<Finding> RunEc11();
 
  private:
   /// Candidate definitions for a call site: by simple name, narrowed by
@@ -136,19 +137,21 @@ class ProjectAnalysis {
     }
   }
 
-  /// Fixpoint over the call graph: the lock set a function may acquire and
+  /// Fixpoint over the call graph: the lock set a function may acquire,
   /// whether it may settle (call a Charge*/Settle*/MergeWork/Finish entry
-  /// point), including through callees.
+  /// point), and whether it polls cancellation — including through callees.
   void ComputeTransitiveFacts() {
     const size_t n = idx_.functions.size();
     trans_acquires_.resize(n);
     trans_settles_.assign(n, false);
+    trans_polls_.assign(n, false);
     for (size_t f = 0; f < n; ++f) {
       for (const LockAcquire& a : idx_.functions[f].acquires) {
         trans_acquires_[f].insert(a.lock_id);
       }
       for (const CallSite& c : idx_.functions[f].calls) {
         if (IsSettlementName(c.name)) trans_settles_[f] = true;
+        if (c.name == "PollCancel") trans_polls_[f] = true;
       }
     }
     bool changed = true;
@@ -159,6 +162,10 @@ class ProjectAnalysis {
           for (size_t g : callees) {
             if (!trans_settles_[f] && trans_settles_[g]) {
               trans_settles_[f] = true;
+              changed = true;
+            }
+            if (!trans_polls_[f] && trans_polls_[g]) {
+              trans_polls_[f] = true;
               changed = true;
             }
             for (const std::string& l : trans_acquires_[g]) {
@@ -195,6 +202,7 @@ class ProjectAnalysis {
   std::vector<std::vector<std::vector<size_t>>> resolved_;
   std::vector<std::set<std::string>> trans_acquires_;
   std::vector<bool> trans_settles_;
+  std::vector<bool> trans_polls_;
   std::set<std::string> seen_;
 };
 
@@ -404,6 +412,46 @@ std::vector<Finding> ProjectAnalysis::RunEc10() {
   return out;
 }
 
+// --- EC11: cancellation polling ---------------------------------------------
+
+std::vector<Finding> ProjectAnalysis::RunEc11() {
+  std::vector<Finding> out;
+  for (size_t f = 0; f < idx_.functions.size(); ++f) {
+    const FunctionInfo& fn = idx_.functions[f];
+    if (!InExec(fn.file)) continue;
+    // WorkerPool itself is the dispatch machinery the polling protects;
+    // its members are not morsel loops.
+    if (fn.class_name == "WorkerPool") continue;
+
+    // An operator pull loop: a member Next(out, eos) definition. Member
+    // calls through a child pointer resolve opaquely (every operator
+    // defines Next), so polling cannot be inherited from the child — each
+    // Next must reach PollCancel through its own body or its helpers.
+    const bool pull_loop =
+        fn.simple == "Next" && !fn.class_name.empty() && fn.max_arity >= 2;
+    // A morsel dispatch: a body handing a task batch to WorkerPool::Run.
+    bool dispatches = false;
+    for (const CallSite& c : fn.calls) {
+      if (c.via_member && c.name == "Run") {
+        dispatches = true;
+        break;
+      }
+    }
+    if (!pull_loop && !dispatches) continue;
+    if (trans_polls_[f]) continue;
+
+    const std::string what =
+        pull_loop ? "operator pull loop" : "morsel dispatch";
+    Report(&out, "EC11", fn.file, fn.line,
+           what + " " + fn.qualified +
+               " never reaches ExecContext::PollCancel(): poll at the "
+               "batch/morsel boundary — directly or through a helper — so "
+               "a deadline or shed stops the plan instead of running it to "
+               "completion (EC11)");
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Finding> LintProject(const std::vector<SourceFile>& files,
@@ -423,10 +471,14 @@ std::vector<Finding> LintProject(const std::vector<SourceFile>& files,
   auto t10 = std::chrono::steady_clock::now();
   std::vector<Finding> ec10 = analysis.RunEc10();
   if (timings != nullptr) timings->ec10_seconds = SecondsSince(t10);
+  auto t11 = std::chrono::steady_clock::now();
+  std::vector<Finding> ec11 = analysis.RunEc11();
+  if (timings != nullptr) timings->ec11_seconds = SecondsSince(t11);
 
   findings.insert(findings.end(), ec8.begin(), ec8.end());
   findings.insert(findings.end(), ec9.begin(), ec9.end());
   findings.insert(findings.end(), ec10.begin(), ec10.end());
+  findings.insert(findings.end(), ec11.begin(), ec11.end());
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;

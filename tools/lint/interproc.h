@@ -1,4 +1,4 @@
-// Pass 2 of the cross-TU analyzer: the interprocedural rules EC8–EC10
+// Pass 2 of the cross-TU analyzer: the interprocedural rules EC8–EC11
 // evaluated over the ProjectIndex call graph (see index.h for pass 1 and
 // lint.h for the full rule list).
 //
@@ -24,6 +24,15 @@
 //                                in another file still protect their
 //                                callers. Unknown callees are skipped
 //                                (conservative fallback).
+//   EC11 cancellation-polling    Every operator pull loop (a member
+//                                Next(out, eos) definition in src/exec) and
+//                                every morsel dispatch (a body handing work
+//                                to WorkerPool::Run) must reach
+//                                ExecContext::PollCancel() — directly or
+//                                through a callee — so deadlines and sheds
+//                                land at the next batch/morsel boundary
+//                                instead of running the plan to completion.
+//                                WorkerPool's own machinery is exempt.
 
 #ifndef ECODB_TOOLS_LINT_INTERPROC_H_
 #define ECODB_TOOLS_LINT_INTERPROC_H_
@@ -41,6 +50,7 @@ struct ProjectTimings {
   double ec8_seconds = 0;
   double ec9_seconds = 0;
   double ec10_seconds = 0;
+  double ec11_seconds = 0;
 };
 
 /// Runs the interprocedural rules over the whole file set. Findings are

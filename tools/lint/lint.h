@@ -36,7 +36,7 @@
 //                          constructed with a session identity — anonymous
 //                          contexts produce Joules nobody is billed for.
 //
-// Three further rules (EC8–EC10) are interprocedural: they run over a
+// Four further rules (EC8–EC11) are interprocedural: they run over a
 // project-wide symbol index and call graph built from the same token
 // stream (see index.h / interproc.h) and are reported by LintProject
 // rather than LintSource:
@@ -54,6 +54,12 @@
 //                          definition returns Status/StatusOr must not
 //                          discard the result, including through wrappers
 //                          whose own return type carries the obligation.
+//   EC11 cancellation-polling  Every operator pull loop (member
+//                          Next(out, eos) in src/exec) and every morsel
+//                          dispatch through WorkerPool::Run must reach
+//                          ExecContext::PollCancel(), directly or through
+//                          a helper, so deadlines and sheds stop the plan
+//                          at the next batch/morsel boundary.
 //
 // Annotations (in ordinary // comments):
 //   // ecodb-lint: worker-context     marks the rest of the enclosing scope

@@ -391,12 +391,62 @@ TEST(EcodbLint, Ec10UnknownCalleeIsNotGuessedAt) {
   EXPECT_TRUE(findings.empty()) << RenderText(findings);
 }
 
+TEST(EcodbLint, Ec11FlagsUnpolledPullLoopsAndDispatch) {
+  const auto findings =
+      LintFixtureProject({{"src/exec/ec11_exec_ops.cc", "ec11_exec_ops.cc"}});
+  // BadScanOp::Next (pull loop) and BadShuffleOp::Partition (morsel
+  // dispatch) never reach PollCancel; GoodFilterOp::Next polls through the
+  // helper and WorkerPool::Run is the exempt machinery.
+  EXPECT_EQ(ProjectLines(findings, "EC11", "src/exec/ec11_exec_ops.cc"),
+            (std::set<int>{11, 19}))
+      << RenderText(findings);
+  EXPECT_EQ(findings.size(), 2u) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec11IsScopedToExec) {
+  // The same content outside src/exec is not an operator loop: storage and
+  // tool code has no batch boundary to poll at.
+  const auto findings = LintFixtureProject(
+      {{"src/storage/ec11_exec_ops.cc", "ec11_exec_ops.cc"}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec11DoesNotInheritPollingFromTheChildOperator) {
+  // Every operator defines Next, so child_->Next resolves opaquely: a
+  // pass-through parent cannot take credit for its child's poll — it must
+  // poll in its own body (or a helper it provably reaches).
+  const std::string src =
+      "Status PassThroughOp::Next(RecordBatch* out, bool* eos) {\n"
+      "  return child_->Next(out, eos);\n"
+      "}\n"
+      "Status PollingOp::Next(RecordBatch* out, bool* eos) {\n"
+      "  ECODB_RETURN_IF_ERROR(ctx_->PollCancel());\n"
+      "  return child_->Next(out, eos);\n"
+      "}\n";
+  const auto findings = LintProject({{"src/exec/pass_through.cc", src}});
+  EXPECT_EQ(ProjectLines(findings, "EC11", "src/exec/pass_through.cc"),
+            (std::set<int>{1}))
+      << RenderText(findings);
+}
+
+TEST(EcodbLint, Ec11NolintSuppresses) {
+  const std::string src =
+      "// NOLINT-ECODB(EC11): drains a pre-materialized buffer, no boundary\n"
+      "Status BufferedOp::Next(RecordBatch* out, bool* eos) {\n"
+      "  *eos = true;\n"
+      "  return Status::OK();\n"
+      "}\n";
+  const auto findings = LintProject({{"src/exec/buffered.cc", src}});
+  EXPECT_TRUE(findings.empty()) << RenderText(findings);
+}
+
 TEST(EcodbLint, ProjectPassReportsPerRuleTimings) {
   ProjectTimings timings;
   timings.index_seconds = -1;
   timings.ec8_seconds = -1;
   timings.ec9_seconds = -1;
   timings.ec10_seconds = -1;
+  timings.ec11_seconds = -1;
   const std::vector<SourceFile> files = {
       {"src/exec/ec8_exec_chain.cc", ReadFixture("ec8_exec_chain.cc")},
       {"src/util/ec8_util.cc", ReadFixture("ec8_util.cc")}};
@@ -405,6 +455,7 @@ TEST(EcodbLint, ProjectPassReportsPerRuleTimings) {
   EXPECT_GE(timings.ec8_seconds, 0.0);
   EXPECT_GE(timings.ec9_seconds, 0.0);
   EXPECT_GE(timings.ec10_seconds, 0.0);
+  EXPECT_GE(timings.ec11_seconds, 0.0);
 }
 
 TEST(EcodbLint, NolintCoversMultiLineStatementContinuation) {

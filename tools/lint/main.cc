@@ -1,6 +1,6 @@
 // ecodb-lint CLI: lints .h/.cc files (or directory trees) against the
-// energy-accounting contract rules EC1–EC10. See lint.h for the per-file
-// rules (EC1–EC7) and interproc.h for the cross-TU rules (EC8–EC10) and
+// energy-accounting contract rules EC1–EC11. See lint.h for the per-file
+// rules (EC1–EC7) and interproc.h for the cross-TU rules (EC8–EC11) and
 // annotation syntax.
 //
 //   ecodb-lint [--root DIR] [--format text|json] [--baseline FILE]
@@ -182,6 +182,8 @@ int main(int argc, char** argv) {
       << "  EC9 lock discipline     " << project_timings.ec9_seconds * 1e3
       << " ms\n"
       << "  EC10 dropped status     " << project_timings.ec10_seconds * 1e3
+      << " ms\n"
+      << "  EC11 cancellation poll  " << project_timings.ec11_seconds * 1e3
       << " ms\n";
     std::cerr << t.str();
   }
